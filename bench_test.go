@@ -1,0 +1,165 @@
+package macaw_test
+
+import (
+	"testing"
+
+	"macaw/internal/backoff"
+	"macaw/internal/core"
+	"macaw/internal/experiments"
+	"macaw/internal/geom"
+	"macaw/internal/mac/macaw"
+	"macaw/internal/phy"
+	"macaw/internal/sim"
+)
+
+// One benchmark per table of the paper's evaluation. Each iteration
+// regenerates the table on a shortened run and reports the headline
+// throughput as a custom pps metric, so regressions in either simulator
+// performance (ns/op) or protocol behaviour (pps) are visible.
+
+func benchTable(b *testing.B, run func(experiments.RunConfig) experiments.Table, col int) {
+	b.Helper()
+	cfg := experiments.Bench()
+	var last experiments.Table
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		last = run(cfg)
+	}
+	b.ReportMetric(last.MeasuredTotal(col), "pps")
+}
+
+func BenchmarkTable1(b *testing.B)  { benchTable(b, experiments.Table1, 1) }
+func BenchmarkTable2(b *testing.B)  { benchTable(b, experiments.Table2, 1) }
+func BenchmarkTable3(b *testing.B)  { benchTable(b, experiments.Table3, 1) }
+func BenchmarkTable4(b *testing.B)  { benchTable(b, experiments.Table4, 1) }
+func BenchmarkTable5(b *testing.B)  { benchTable(b, experiments.Table5, 1) }
+func BenchmarkTable6(b *testing.B)  { benchTable(b, experiments.Table6, 1) }
+func BenchmarkTable7(b *testing.B)  { benchTable(b, experiments.Table7, 0) }
+func BenchmarkTable8(b *testing.B)  { benchTable(b, experiments.Table8, 1) }
+func BenchmarkTable9(b *testing.B)  { benchTable(b, experiments.Table9, 1) }
+func BenchmarkTable10(b *testing.B) { benchTable(b, experiments.Table10, 1) }
+func BenchmarkTable11(b *testing.B) { benchTable(b, experiments.Table11, 1) }
+
+// singleStream runs one saturating UDP pad-to-base stream under the given
+// factory and reports its throughput.
+func singleStream(b *testing.B, f core.MACFactory) {
+	b.Helper()
+	var pps float64
+	for i := 0; i < b.N; i++ {
+		n := core.NewNetwork(int64(i + 1))
+		p := n.AddStation("P", geom.V(-4, 0, 6), f)
+		base := n.AddStation("B", geom.V(0, 0, 12), f)
+		n.AddStream(p, base, core.UDP, 64)
+		res := n.Run(30*sim.Second, 5*sim.Second)
+		pps = res.PPS("P-B")
+	}
+	b.ReportMetric(pps, "pps")
+}
+
+// Ablation benches for the design choices DESIGN.md calls out: each strips
+// one MACAW mechanism so its cost/benefit is directly measurable.
+
+func BenchmarkAblationExchangeBasic(b *testing.B) {
+	singleStream(b, core.MACAWFactory(macaw.Options{Exchange: macaw.Basic}))
+}
+
+func BenchmarkAblationExchangeWithACK(b *testing.B) {
+	singleStream(b, core.MACAWFactory(macaw.Options{Exchange: macaw.WithACK}))
+}
+
+func BenchmarkAblationExchangeFull(b *testing.B) {
+	singleStream(b, core.MACAWFactory(macaw.Options{Exchange: macaw.Full}))
+}
+
+func BenchmarkAblationBEBvsMILD(b *testing.B) {
+	for _, strat := range []backoff.Strategy{backoff.NewBEB(), backoff.NewMILD()} {
+		strat := strat
+		b.Run(strat.Name(), func(b *testing.B) {
+			var total float64
+			for i := 0; i < b.N; i++ {
+				n := core.NewNetwork(int64(i + 1))
+				base := n.AddStation("B", geom.V(0, 0, 12), core.MACAWFactoryWith(
+					macaw.Options{Exchange: macaw.Basic},
+					func() backoff.Policy { return backoff.NewSingle(strat, true) }))
+				for _, name := range []string{"P1", "P2", "P3", "P4"} {
+					p := n.AddStation(name, geom.V(float64(len(name)), 2, 6), core.MACAWFactoryWith(
+						macaw.Options{Exchange: macaw.Basic},
+						func() backoff.Policy { return backoff.NewSingle(strat, true) }))
+					n.AddStream(p, base, core.UDP, 64)
+				}
+				res := n.Run(20*sim.Second, 2*sim.Second)
+				total = res.TotalPPS()
+			}
+			b.ReportMetric(total, "pps")
+		})
+	}
+}
+
+// BenchmarkAblationCubeGrid compares the paper's cube-quantized propagation
+// against the exact-distance model: the physics substitution must not change
+// throughput.
+func BenchmarkAblationCubeGrid(b *testing.B) {
+	for _, cube := range []bool{true, false} {
+		cube := cube
+		name := "exact"
+		if cube {
+			name = "cubegrid"
+		}
+		b.Run(name, func(b *testing.B) {
+			var pps float64
+			for i := 0; i < b.N; i++ {
+				n := core.NewNetwork(int64(i + 1))
+				params := phy.DefaultParams()
+				params.CubeGrid = cube
+				n.Medium.SetPropagation(phy.NewPropagation(params))
+				p := n.AddStation("P", geom.V(-4, 0, 6), core.MACAWFactory(macaw.DefaultOptions()))
+				base := n.AddStation("B", geom.V(0, 0, 12), core.MACAWFactory(macaw.DefaultOptions()))
+				n.AddStream(p, base, core.UDP, 64)
+				pps = n.Run(20*sim.Second, 2*sim.Second).PPS("P-B")
+			}
+			b.ReportMetric(pps, "pps")
+		})
+	}
+}
+
+// Extension experiment benches (§4 design alternatives).
+
+func BenchmarkExtAckSchemes(b *testing.B)   { benchTable(b, experiments.ExtAckSchemes, 1) }
+func BenchmarkExtCarrierSense(b *testing.B) { benchTable(b, experiments.ExtCarrierSense, 1) }
+func BenchmarkExtLeakage(b *testing.B)      { benchTable(b, experiments.ExtLeakage, 1) }
+func BenchmarkExtToken(b *testing.B)        { benchTable(b, experiments.ExtTokenVsMACAW, 0) }
+
+// BenchmarkExtLoadSweep reports MACAW's saturated carried load.
+func BenchmarkExtLoadSweep(b *testing.B) {
+	cfg := experiments.Bench()
+	var last experiments.Table
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		last = experiments.ExtLoadSweep(cfg)
+	}
+	b.ReportMetric(last.Columns[1].Results.PPS("offered=16x4"), "pps")
+}
+
+// BenchmarkExtMulticast reports the §3.3.4 multicast delivery ratios.
+func BenchmarkExtMulticast(b *testing.B) {
+	var r experiments.MulticastResult
+	cfg := experiments.Bench()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		r = experiments.ExtMulticast(cfg)
+	}
+	b.ReportMetric(float64(r.NearDelivered)/float64(r.Sent), "near-ratio")
+	b.ReportMetric(float64(r.FarDelivered)/float64(r.Sent), "far-ratio")
+}
+
+// BenchmarkSimulatorEventRate measures raw simulator throughput: simulated
+// exchanges per wall-clock second on a saturated single cell.
+func BenchmarkSimulatorEventRate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		n := core.NewNetwork(1)
+		p := n.AddStation("P", geom.V(-4, 0, 6), core.MACAWFactory(macaw.DefaultOptions()))
+		base := n.AddStation("B", geom.V(0, 0, 12), core.MACAWFactory(macaw.DefaultOptions()))
+		n.AddStream(p, base, core.UDP, 64)
+		n.Run(60*sim.Second, 0)
+	}
+}

@@ -1,0 +1,139 @@
+// Command macawem runs the live emulation: the real MACAW protocol stack
+// exchanging the binary wire frames over UDP sockets through an air broker
+// that applies the radio physics in (time-dilated) real time.
+//
+// Run everything in one process:
+//
+//	macawem -demo
+//
+// Or distribute across processes:
+//
+//	macawem -broker -listen 127.0.0.1:7700
+//	macawem -station 1 -pos 0,0,6  -connect 127.0.0.1:7700 -sendto 2
+//	macawem -station 2 -pos 6,0,6 -connect 127.0.0.1:7700
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"time"
+
+	"macaw/internal/frame"
+	"macaw/internal/geom"
+	"macaw/internal/mac"
+	"macaw/internal/mac/macaw"
+	"macaw/internal/netem"
+	"macaw/internal/phy"
+)
+
+func main() {
+	demo := flag.Bool("demo", false, "run a broker and two stations in-process")
+	brokerMode := flag.Bool("broker", false, "run the air broker")
+	listen := flag.String("listen", "127.0.0.1:7700", "broker listen address")
+	station := flag.Int("station", 0, "run a station with this id")
+	pos := flag.String("pos", "0,0,6", "station position in feet: x,y,z")
+	connect := flag.String("connect", "127.0.0.1:7700", "broker address to connect to")
+	sendto := flag.Int("sendto", 0, "destination station id for generated traffic (0 = receive only)")
+	rate := flag.Float64("rate", 2, "offered packets per wall-clock second")
+	scale := flag.Float64("scale", netem.DefaultScale, "time dilation factor")
+	seconds := flag.Float64("seconds", 30, "how long to run (demo and station modes)")
+	flag.Parse()
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+
+	switch {
+	case *demo:
+		runDemo(ctx, *scale, *seconds)
+	case *brokerMode:
+		b, err := netem.NewBroker(*listen, *scale, phy.DefaultParams())
+		if err != nil {
+			log.Fatal(err)
+		}
+		b.Logf = log.Printf
+		log.Printf("air broker on %v (scale %gx)", b.Addr(), *scale)
+		b.Run(ctx)
+	case *station > 0:
+		runStation(ctx, *connect, frame.NodeID(*station), parsePos(*pos), *scale, frame.NodeID(*sendto), *rate, *seconds)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func parsePos(s string) geom.Vec3 {
+	parts := strings.Split(s, ",")
+	if len(parts) != 3 {
+		log.Fatalf("bad -pos %q, want x,y,z", s)
+	}
+	var v [3]float64
+	for i, p := range parts {
+		f, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			log.Fatalf("bad -pos %q: %v", s, err)
+		}
+		v[i] = f
+	}
+	return geom.V(v[0], v[1], v[2])
+}
+
+func buildMACAW(env *mac.Env) mac.MAC { return macaw.New(env, macaw.DefaultOptions()) }
+
+func runStation(ctx context.Context, broker string, id frame.NodeID, pos geom.Vec3, scale float64,
+	dst frame.NodeID, rate, seconds float64) {
+
+	st, err := netem.NewStation(broker, id, pos, scale, netem.EmuConfig(), buildMACAW)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st.Deliver = func(src frame.NodeID, payload []byte) {
+		log.Printf("station %v: data from %v: %q", id, src, payload)
+	}
+	st.Sent = func(p *mac.Packet) {
+		log.Printf("station %v: packet to %v acknowledged", id, p.Dst)
+	}
+	log.Printf("station %v joined at %v", id, pos)
+
+	if dst != 0 && rate > 0 {
+		go func() {
+			tick := time.NewTicker(time.Duration(float64(time.Second) / rate))
+			defer tick.Stop()
+			n := 0
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					n++
+					st.Enqueue(&mac.Packet{Dst: dst, Size: frame.DefaultDataBytes,
+						Payload: []byte(fmt.Sprintf("live frame %d from %v", n, id))})
+				}
+			}
+		}()
+	}
+	runCtx, cancel := context.WithTimeout(ctx, time.Duration(seconds*float64(time.Second)))
+	defer cancel()
+	st.Run(runCtx)
+	log.Printf("station %v stats: %+v", id, st.MAC().Stats())
+}
+
+func runDemo(ctx context.Context, scale, seconds float64) {
+	b, err := netem.NewBroker("127.0.0.1:0", scale, phy.DefaultParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(ctx, time.Duration(seconds*float64(time.Second)))
+	defer cancel()
+	go b.Run(ctx)
+	log.Printf("demo: broker on %v, scale %gx (one slot = %.0fms wall)", b.Addr(), scale, 0.9375*scale)
+
+	go runStation(ctx, b.Addr().String(), 2, geom.V(6, 0, 6), scale, 0, 0, seconds)
+	time.Sleep(200 * time.Millisecond)
+	runStation(ctx, b.Addr().String(), 1, geom.V(0, 0, 6), scale, 2, 1, seconds)
+}

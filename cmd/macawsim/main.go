@@ -1,0 +1,87 @@
+// Command macawsim regenerates the paper's evaluation tables.
+//
+// Usage:
+//
+//	macawsim [-table table1..table11|all] [-total SECONDS] [-warmup SECONDS] [-seed N] [-paper]
+//
+// Each table prints the paper's reported packets-per-second next to this
+// reproduction's measurements. -paper selects the paper's 500 s run length;
+// the default is a faster 120 s run that exhibits the same shapes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"macaw/internal/experiments"
+	"macaw/internal/sim"
+)
+
+func main() {
+	table := flag.String("table", "all", "experiment to regenerate (table1..table11, ext-*, all, or ext)")
+	total := flag.Float64("total", 0, "simulated seconds (0 = preset)")
+	warmup := flag.Float64("warmup", 0, "warmup seconds excluded from measurement (0 = preset)")
+	seed := flag.Int64("seed", 1, "random seed")
+	paper := flag.Bool("paper", false, "use the paper's 500s/50s run length")
+	format := flag.String("format", "text", "output format: text or csv")
+	flag.Parse()
+
+	cfg := experiments.Quick()
+	if *paper {
+		cfg = experiments.Paper()
+	}
+	if *total > 0 {
+		cfg.Total = sim.FromSeconds(*total)
+	}
+	if *warmup > 0 {
+		cfg.Warmup = sim.FromSeconds(*warmup)
+	}
+	cfg.Seed = *seed
+	if cfg.Warmup >= cfg.Total {
+		fmt.Fprintln(os.Stderr, "macawsim: warmup must be shorter than total")
+		os.Exit(2)
+	}
+
+	var gens []experiments.Generator
+	switch *table {
+	case "all":
+		gens = append(experiments.All(), experiments.Extensions()...)
+	case "ext":
+		gens = experiments.Extensions()
+	default:
+		g, ok := experiments.ByID(*table)
+		if !ok {
+			for _, e := range experiments.Extensions() {
+				if e.ID == *table {
+					g, ok = e, true
+					break
+				}
+			}
+		}
+		if !ok {
+			ids := experiments.IDs()
+			for _, e := range experiments.Extensions() {
+				ids = append(ids, e.ID)
+			}
+			fmt.Fprintf(os.Stderr, "macawsim: unknown experiment %q; available: %s\n",
+				*table, strings.Join(ids, ", "))
+			os.Exit(2)
+		}
+		gens = []experiments.Generator{g}
+	}
+
+	if *format == "csv" {
+		for _, g := range gens {
+			tab := g.Run(cfg)
+			fmt.Printf("# %s\n%s\n", tab.ID, tab.CSV())
+		}
+		return
+	}
+	fmt.Printf("MACAW reproduction — %gs runs, %gs warmup, seed %d\n\n",
+		cfg.Total.Seconds(), cfg.Warmup.Seconds(), cfg.Seed)
+	for _, g := range gens {
+		fmt.Println(g.Run(cfg).Render())
+	}
+}

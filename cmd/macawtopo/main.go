@@ -1,0 +1,79 @@
+// Command macawtopo inspects the paper's network configurations: station
+// placement, the realized hearing graph, and the declared streams.
+//
+// Usage:
+//
+//	macawtopo [-figure figure1..figure11]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"macaw/internal/core"
+	"macaw/internal/topo"
+)
+
+func main() {
+	figure := flag.String("figure", "", "figure to inspect (default: all)")
+	flag.Parse()
+
+	layouts := topo.All()
+	var names []string
+	for name := range layouts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	if *figure != "" {
+		if _, ok := layouts[*figure]; !ok {
+			fmt.Fprintf(os.Stderr, "macawtopo: unknown figure %q (have %v)\n", *figure, names)
+			os.Exit(2)
+		}
+		names = []string{*figure}
+	}
+
+	for _, name := range names {
+		show(layouts[name])
+	}
+}
+
+func show(l topo.Layout) {
+	fmt.Printf("%s — %s\n", l.Name, l.Doc)
+	n := core.NewNetwork(1)
+	if err := l.Build(n, core.MACAFactory()); err != nil {
+		fmt.Printf("  BUILD ERROR: %v\n", err)
+		return
+	}
+	fmt.Println("  stations:")
+	for _, s := range l.Stations {
+		kind := "pad "
+		if s.Base {
+			kind = "base"
+		}
+		fmt.Printf("    %-4s %-4s at %v\n", kind, s.Name, s.Pos)
+	}
+	if len(l.Streams) > 0 {
+		fmt.Println("  streams:")
+		for _, s := range l.Streams {
+			start := ""
+			if s.StartSec > 0 {
+				start = fmt.Sprintf(" (starts at %gs)", s.StartSec)
+			}
+			fmt.Printf("    %s -> %s  %v %g pps%s\n", s.From, s.To, s.Kind, s.Rate, start)
+		}
+	}
+	fmt.Println("  hearing graph:")
+	g := n.HearingGraph()
+	var stationNames []string
+	for name := range g {
+		stationNames = append(stationNames, name)
+	}
+	sort.Strings(stationNames)
+	for _, name := range stationNames {
+		fmt.Printf("    %-4s hears %v\n", name, g[name])
+	}
+	fmt.Println()
+}

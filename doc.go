@@ -1,0 +1,24 @@
+// Package macaw is a from-scratch Go reproduction of "MACAW: A Media Access
+// Protocol for Wireless LAN's" (Bharghavan, Demers, Shenker, Zhang —
+// SIGCOMM 1994).
+//
+// The repository contains the complete system the paper describes: a
+// deterministic discrete-event simulator, the near-field nanocellular radio
+// model of Xerox PARC's testbed, the MACA and MACAW media access protocols
+// (plus the CSMA baseline the paper argues against), the BEB/MILD backoff
+// algorithms with copying and per-destination estimation, UDP and a
+// paper-era TCP transport substrate, every Figure 1-11 topology with
+// verified hearing graphs, and a harness that regenerates every table in
+// the paper's evaluation.
+//
+// Entry points:
+//
+//   - cmd/macawsim regenerates Tables 1-11 (paper vs measured).
+//   - cmd/macawtrace prints packet-level traces of any scenario.
+//   - cmd/macawtopo inspects the topologies.
+//   - examples/ holds runnable walkthroughs of the public API.
+//   - bench_test.go benchmarks every table's regeneration.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured record.
+package macaw

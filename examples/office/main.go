@@ -1,0 +1,46 @@
+// Office scenario: the paper's Figure 11 — a four-cell slice of Xerox
+// PARC's Computer Science Laboratory. An open area (C1) holds four pads and
+// a noisy electronic whiteboard, two office cells hold one pad each, and a
+// seventh pad is carried into the coffee room mid-run. Every pad runs a TCP
+// stream to its cell's base station. The example runs the scenario under
+// MACA and MACAW and prints both tables.
+package main
+
+import (
+	"fmt"
+
+	"macaw/internal/core"
+	"macaw/internal/mac/macaw"
+	"macaw/internal/phy"
+	"macaw/internal/sim"
+	"macaw/internal/topo"
+)
+
+func run(name string, f core.MACFactory) {
+	l := topo.Figure11()
+	n := core.NewNetwork(11)
+	if err := l.Build(n, f); err != nil {
+		panic(err)
+	}
+
+	// The whiteboard: a 1% packet error rate on receptions in the open
+	// area.
+	n.Medium.SetNoise(phy.RegionLoss{P: 0.01, InRegion: topo.Cell1NoiseRegion})
+
+	// P7 starts in a distant uncongested cell and is carried into the
+	// coffee room at t=30s (the paper: 300s of a 2000s run).
+	mv := topo.Figure11MoveSpec()
+	p7 := n.Station("P7")
+	p7.Radio().SetPos(mv.Start)
+	n.MoveStation(p7, 30*sim.Second, mv.Dest)
+
+	res := n.Run(200*sim.Second, 40*sim.Second)
+	fmt.Printf("%s:\n%s\n", name, res)
+}
+
+func main() {
+	fmt.Println("Figure 11: the office scenario (TCP, noise, mobility)")
+	fmt.Println()
+	run("MACA", core.MACAFactory())
+	run("MACAW", core.MACAWFactory(macaw.DefaultOptions()))
+}

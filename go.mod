@@ -1,0 +1,3 @@
+module macaw
+
+go 1.22

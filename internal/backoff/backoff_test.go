@@ -1,0 +1,399 @@
+package backoff
+
+import (
+	"testing"
+	"testing/quick"
+
+	"macaw/internal/frame"
+)
+
+func TestBEBAdjustments(t *testing.T) {
+	b := NewBEB()
+	if b.Name() != "BEB" || b.Min() != 2 || b.Max() != 64 {
+		t.Fatalf("BEB identity wrong: %+v", b)
+	}
+	if got := b.Inc(2); got != 4 {
+		t.Fatalf("Inc(2) = %d, want 4", got)
+	}
+	if got := b.Inc(48); got != 64 {
+		t.Fatalf("Inc(48) = %d, want 64 (capped)", got)
+	}
+	// BEB resets to the minimum on success regardless of current value.
+	if got := b.Dec(64); got != 2 {
+		t.Fatalf("Dec(64) = %d, want 2", got)
+	}
+}
+
+func TestMILDAdjustments(t *testing.T) {
+	m := NewMILD()
+	if m.Name() != "MILD" || m.Min() != 2 || m.Max() != 64 {
+		t.Fatalf("MILD identity wrong: %+v", m)
+	}
+	if got := m.Inc(2); got != 3 {
+		t.Fatalf("Inc(2) = %d, want 3", got)
+	}
+	if got := m.Inc(4); got != 6 {
+		t.Fatalf("Inc(4) = %d, want 6", got)
+	}
+	if got := m.Inc(5); got != 8 { // ceil(7.5)
+		t.Fatalf("Inc(5) = %d, want 8", got)
+	}
+	if got := m.Inc(60); got != 64 {
+		t.Fatalf("Inc(60) = %d, want 64 (capped)", got)
+	}
+	// MILD decreases by one, not to the minimum.
+	if got := m.Dec(10); got != 9 {
+		t.Fatalf("Dec(10) = %d, want 9", got)
+	}
+	if got := m.Dec(2); got != 2 {
+		t.Fatalf("Dec(2) = %d, want 2 (floored)", got)
+	}
+}
+
+// Property: both strategies keep the counter within [BOmin, BOmax] under any
+// sequence of adjustments.
+func TestQuickStrategiesStayBounded(t *testing.T) {
+	for _, s := range []Strategy{NewBEB(), NewMILD()} {
+		s := s
+		f := func(ops []bool) bool {
+			x := s.Min()
+			for _, inc := range ops {
+				if inc {
+					x = s.Inc(x)
+				} else {
+					x = s.Dec(x)
+				}
+				if x < s.Min() || x > s.Max() {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+	}
+}
+
+// Property: MILD increases dominate decreases (§3.4: "the multiplicative
+// backoff increases will always dominate the additive backoff decreases").
+func TestMILDIncreaseDominates(t *testing.T) {
+	m := NewMILD()
+	for x := m.Min(); x < m.Max(); x++ {
+		up := m.Inc(x)
+		down := m.Dec(up)
+		if x > 2 && down < x {
+			t.Fatalf("Inc then Dec from %d fell to %d", x, down)
+		}
+	}
+}
+
+func TestSingleLifecycle(t *testing.T) {
+	p := NewSingle(NewBEB(), false)
+	if p.Value() != 2 || p.Backoff(5) != 2 {
+		t.Fatalf("initial value = %d, want BOmin", p.Value())
+	}
+	p.OnFailure(5)
+	p.OnFailure(5)
+	if p.Value() != 8 {
+		t.Fatalf("after 2 failures = %d, want 8", p.Value())
+	}
+	// Failure to one destination inflates the shared counter for all.
+	if p.Backoff(9) != 8 {
+		t.Fatal("single counter not shared across destinations")
+	}
+	p.OnSuccess(5)
+	if p.Value() != 2 {
+		t.Fatalf("after success = %d, want 2", p.Value())
+	}
+	p.OnGiveUp(5) // no-op, but must not panic
+	p.StartExchange(5)
+}
+
+func TestSingleStamp(t *testing.T) {
+	p := NewSingle(NewMILD(), true)
+	p.OnFailure(1)
+	f := &frame.Frame{Type: frame.DATA, Src: 1, Dst: 2}
+	p.StampSend(f)
+	if f.LocalBackoff != 3 || f.RemoteBackoff != frame.IDontKnow {
+		t.Fatalf("stamp = local %d remote %d", f.LocalBackoff, f.RemoteBackoff)
+	}
+}
+
+func TestSingleCopyFromOverheard(t *testing.T) {
+	p := NewSingle(NewBEB(), true)
+	p.OnOverhear(&frame.Frame{Type: frame.CTS, LocalBackoff: 17})
+	if p.Value() != 17 {
+		t.Fatalf("copy failed: %d", p.Value())
+	}
+	// RTS packets are ignored by the copy rule.
+	p.OnOverhear(&frame.Frame{Type: frame.RTS, LocalBackoff: 40})
+	if p.Value() != 17 {
+		t.Fatal("copied from an RTS")
+	}
+	// Copied values are clamped into the legal window.
+	p.OnOverhear(&frame.Frame{Type: frame.CTS, LocalBackoff: 1000})
+	if p.Value() != 64 {
+		t.Fatalf("copy not clamped: %d", p.Value())
+	}
+	// Frames addressed to this station must NOT reset the counter.
+	p.OnReceive(&frame.Frame{Type: frame.DATA, LocalBackoff: 9})
+	if p.Value() != 64 {
+		t.Fatal("OnReceive overwrote the participant's own counter")
+	}
+}
+
+func TestSingleNoCopyIgnoresOverheard(t *testing.T) {
+	p := NewSingle(NewBEB(), false)
+	p.OnOverhear(&frame.Frame{Type: frame.CTS, LocalBackoff: 17})
+	if p.Value() != 2 {
+		t.Fatal("no-copy policy copied anyway")
+	}
+}
+
+func TestPerDestInitialState(t *testing.T) {
+	p := NewPerDest(NewMILD())
+	if p.Backoff(7) != 2 {
+		t.Fatalf("initial backoff = %d, want BOmin", p.Backoff(7))
+	}
+	pe := p.Peer(7)
+	if pe.Remote != IDontKnow || pe.Local != 2 {
+		t.Fatalf("initial peer = %+v", pe)
+	}
+}
+
+func TestPerDestFailureIsolation(t *testing.T) {
+	// The Table 8 mechanism: failures toward a dead pad must not inflate
+	// the window used toward live pads.
+	p := NewPerDest(NewMILD())
+	for i := 0; i < 20; i++ {
+		p.OnFailure(1) // dead pad: consecutive retries cost 1+2+3+...
+	}
+	if p.Backoff(1) < 60 {
+		t.Fatalf("dead-pad backoff = %d, want large", p.Backoff(1))
+	}
+	if got := p.Backoff(2); got != 2 {
+		t.Fatalf("live-pad backoff = %d, want 2", got)
+	}
+}
+
+func TestPerDestSumsBothEnds(t *testing.T) {
+	p := NewPerDest(NewMILD())
+	pe := p.Peer(3)
+	pe.Local, pe.Remote = 10, 20
+	if got := p.Backoff(3); got != 30 {
+		t.Fatalf("Backoff = %d, want 30 (sum of ends)", got)
+	}
+	pe.Remote = IDontKnow
+	if got := p.Backoff(3); got != 10 {
+		t.Fatalf("Backoff with unknown remote = %d, want 10", got)
+	}
+}
+
+func TestPerDestStartExchange(t *testing.T) {
+	p := NewPerDest(NewMILD())
+	p.My = 12
+	p.StartExchange(4)
+	pe := p.Peer(4)
+	if pe.Local != 12 {
+		t.Fatalf("StartExchange did not sync local with my_backoff: %d", pe.Local)
+	}
+	if pe.SendESN != 2 || pe.SendRetry != 1 {
+		t.Fatalf("StartExchange state = %+v", pe)
+	}
+}
+
+func TestPerDestStamp(t *testing.T) {
+	p := NewPerDest(NewMILD())
+	pe := p.Peer(4)
+	pe.Local, pe.Remote, pe.SendESN = 7, 9, 3
+	f := &frame.Frame{Type: frame.RTS, Src: 1, Dst: 4}
+	p.StampSend(f)
+	if f.LocalBackoff != 7 || f.RemoteBackoff != 9 || f.ESN != 3 {
+		t.Fatalf("stamp = %+v", f)
+	}
+}
+
+func TestPerDestOverhearCopies(t *testing.T) {
+	p := NewPerDest(NewMILD())
+	f := &frame.Frame{Type: frame.CTS, Src: 5, Dst: 6, LocalBackoff: 11, RemoteBackoff: 13}
+	p.OnOverhear(f)
+	if p.Peer(5).Remote != 11 {
+		t.Fatalf("Q's backoff = %d, want 11", p.Peer(5).Remote)
+	}
+	if p.Peer(6).Remote != 13 {
+		t.Fatalf("R's backoff = %d, want 13", p.Peer(6).Remote)
+	}
+	if p.My != 11 {
+		t.Fatalf("my_backoff = %d, want 11 (copied from the neighbour)", p.My)
+	}
+}
+
+func TestPerDestOverhearIgnoresRTSAndIDK(t *testing.T) {
+	p := NewPerDest(NewMILD())
+	p.OnOverhear(&frame.Frame{Type: frame.RTS, Src: 5, Dst: 6, LocalBackoff: 11})
+	if p.Peer(5).Remote != IDontKnow {
+		t.Fatal("copied from an RTS")
+	}
+	p.OnOverhear(&frame.Frame{Type: frame.CTS, Src: 5, Dst: 6, LocalBackoff: 11, RemoteBackoff: frame.IDontKnow})
+	if p.Peer(6).Remote != IDontKnow {
+		t.Fatal("copied an I_DONT_KNOW remote value")
+	}
+}
+
+func TestPerDestReceiveRTSTracksOnlyESN(t *testing.T) {
+	// RTS values are never adopted ("may not carry the correct backoff
+	// values"), but the exchange number is tracked.
+	p := NewPerDest(NewMILD())
+	pe := p.Peer(5)
+	f := &frame.Frame{Type: frame.RTS, Src: 5, Dst: 1, LocalBackoff: 8, RemoteBackoff: 6, ESN: 2}
+	p.OnReceive(f)
+	if pe.Remote != IDontKnow || pe.Local != 2 || p.My != 2 {
+		t.Fatalf("RTS values adopted: %+v my=%d", pe, p.My)
+	}
+	if pe.SeenESN != 2 || pe.SeenRetry != 1 {
+		t.Fatalf("seen esn/retry = %d/%d", pe.SeenESN, pe.SeenRetry)
+	}
+}
+
+func TestPerDestRepeatedRTSPenalizesRemote(t *testing.T) {
+	// A retransmitted RTS (same exchange number) is observed evidence of
+	// congestion at the sender's end of the exchange.
+	p := NewPerDest(NewMILD())
+	pe := p.Peer(5)
+	rts := &frame.Frame{Type: frame.RTS, Src: 5, Dst: 1, LocalBackoff: 4, RemoteBackoff: frame.IDontKnow, ESN: 2}
+	p.OnReceive(rts) // new exchange
+	p.OnReceive(rts) // retransmission: claim + 1*ALPHA
+	p.OnReceive(rts) // retransmission: claim + 2*ALPHA
+	if pe.Remote != 4+2 {
+		t.Fatalf("remote = %d, want 6 (claim-anchored)", pe.Remote)
+	}
+	if pe.SeenRetry != 3 {
+		t.Fatalf("seen retry = %d, want 3", pe.SeenRetry)
+	}
+}
+
+func TestPerDestReceiveValidatedFrameAdoptsValues(t *testing.T) {
+	p := NewPerDest(NewMILD())
+	pe := p.Peer(5)
+	f := &frame.Frame{Type: frame.CTS, Src: 5, Dst: 1, LocalBackoff: 8, RemoteBackoff: 6, ESN: 2}
+	p.OnReceive(f)
+	if pe.Remote != 8 {
+		t.Fatalf("remote = %d, want 8", pe.Remote)
+	}
+	if pe.Local != 6 || p.My != 6 {
+		t.Fatalf("local = %d my = %d, want 6", pe.Local, p.My)
+	}
+}
+
+func TestPerDestReceiveStaleFrameIgnored(t *testing.T) {
+	p := NewPerDest(NewMILD())
+	pe := p.Peer(5)
+	pe.SeenESN = 9
+	p.My = 7
+	f := &frame.Frame{Type: frame.DATA, Src: 5, Dst: 1, LocalBackoff: 8, RemoteBackoff: 3, ESN: 4}
+	p.OnReceive(f)
+	if pe.Remote != IDontKnow || p.My != 7 {
+		t.Fatalf("stale frame adopted: %+v my=%d", pe, p.My)
+	}
+}
+
+func TestPerDestReceiveIDKRemoteKeepsLocal(t *testing.T) {
+	p := NewPerDest(NewMILD())
+	pe := p.Peer(5)
+	pe.Local = 9
+	f := &frame.Frame{Type: frame.CTS, Src: 5, Dst: 1, LocalBackoff: 8, RemoteBackoff: frame.IDontKnow, ESN: 2}
+	p.OnReceive(f)
+	if pe.Local != 9 {
+		t.Fatalf("local = %d, want 9 (unchanged)", pe.Local)
+	}
+}
+
+func TestPerDestSuccessDecrementsBothEnds(t *testing.T) {
+	p := NewPerDest(NewMILD())
+	pe := p.Peer(5)
+	pe.Local, pe.Remote = 10, 20
+	p.OnSuccess(5)
+	if pe.Local != 9 || pe.Remote != 19 {
+		t.Fatalf("after success: %+v", pe)
+	}
+	if p.My != 9 {
+		t.Fatalf("my_backoff = %d, want 9", p.My)
+	}
+}
+
+func TestPerDestGiveUp(t *testing.T) {
+	p := NewPerDest(NewMILD())
+	pe := p.Peer(5)
+	pe.Remote = 30
+	p.OnGiveUp(5)
+	if pe.Local != 64 {
+		t.Fatalf("after give-up: %+v", pe)
+	}
+	if pe.Remote != 30 {
+		t.Fatalf("give-up erased the congestion estimate: %+v", pe)
+	}
+}
+
+// Property: per-destination backoff always lies within [BOmin, 2*BOmax]
+// under arbitrary interleavings of the policy operations.
+func TestQuickPerDestBounded(t *testing.T) {
+	f := func(ops []uint8, dsts []uint8) bool {
+		p := NewPerDest(NewMILD())
+		for i, op := range ops {
+			var dst frame.NodeID = 1
+			if len(dsts) > 0 {
+				dst = frame.NodeID(dsts[i%len(dsts)]%4) + 1
+			}
+			switch op % 6 {
+			case 0:
+				p.OnFailure(dst)
+			case 1:
+				p.OnSuccess(dst)
+			case 2:
+				p.OnGiveUp(dst)
+			case 3:
+				p.StartExchange(dst)
+			case 4:
+				p.OnOverhear(&frame.Frame{Type: frame.CTS, Src: 7, Dst: 8,
+					LocalBackoff: int16(op), RemoteBackoff: int16(op / 2)})
+			case 5:
+				ty := frame.DATA
+				if op%2 == 0 {
+					ty = frame.RTS
+				}
+				p.OnReceive(&frame.Frame{Type: ty, Src: dst, Dst: 0,
+					LocalBackoff: int16(op), RemoteBackoff: frame.IDontKnow, ESN: uint32(op)})
+			}
+			bo := p.Backoff(dst)
+			if bo < 2 || bo > 128 {
+				return false
+			}
+			if p.My < 2 || p.My > 64 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The capture pathology of Table 1, reproduced at the policy level: under
+// BEB without copying, a station that wins keeps a minimal counter while the
+// loser's grows; with copying both see the same value after any packet.
+func TestCopyEqualizesCounters(t *testing.T) {
+	winner := NewSingle(NewBEB(), true)
+	loser := NewSingle(NewBEB(), true)
+	winner.OnSuccess(1)
+	loser.OnFailure(1)
+	loser.OnFailure(1)
+	// Winner transmits a DATA packet; loser overhears it.
+	f := &frame.Frame{Type: frame.DATA, Src: 1, Dst: 2}
+	winner.StampSend(f)
+	loser.OnOverhear(f)
+	if loser.Value() != winner.Value() {
+		t.Fatalf("copy failed to equalize: %d vs %d", loser.Value(), winner.Value())
+	}
+}

@@ -1,0 +1,200 @@
+package backoff
+
+import "macaw/internal/frame"
+
+// Peer is the per-remote-station state of Appendix B. The pseudocode's
+// exchange_seq_number and retry_count each serve two distinct roles —
+// numbering our own exchanges toward the peer and tracking the peer's
+// exchanges toward us — which this implementation keeps separate.
+type Peer struct {
+	// Local is the local end's counter for this stream ("the backoff
+	// value at this station as estimated by the remote station").
+	Local int
+	// Remote is the estimated backoff value for the remote station, or
+	// IDontKnow.
+	Remote int
+	// SendESN numbers our own packet exchanges toward the peer.
+	SendESN uint32
+	// SendRetry counts our transmission attempts for the current packet.
+	SendRetry int
+	// SeenESN is the highest exchange number observed from the peer.
+	SeenESN uint32
+	// SeenRetry counts observed retransmissions of the peer's current
+	// exchange.
+	SeenRetry int
+}
+
+// PerDest is the per-destination backoff policy of §3.4 and Appendix B.
+// Each station keeps its own counter (My) plus, for every remote station, a
+// local/remote pair; the contention window toward a destination combines
+// the congestion estimates of both ends by summing them (footnote 9).
+type PerDest struct {
+	strat Strategy
+	// Alpha is the additive retry penalty from the Appendix B pseudocode.
+	Alpha int
+	// My is "the backoff value at this station".
+	My    int
+	peers map[frame.NodeID]*Peer
+}
+
+// NewPerDest returns a per-destination policy using strat.
+func NewPerDest(strat Strategy) *PerDest {
+	return &PerDest{strat: strat, Alpha: DefaultAlpha, My: strat.Min(), peers: make(map[frame.NodeID]*Peer)}
+}
+
+// Peer returns the bookkeeping entry for id, creating it on first use.
+func (p *PerDest) Peer(id frame.NodeID) *Peer {
+	pe := p.peers[id]
+	if pe == nil {
+		pe = &Peer{Local: p.My, Remote: IDontKnow, SendESN: 1, SendRetry: 1}
+		p.peers[id] = pe
+	}
+	return pe
+}
+
+func (p *PerDest) clamp(v int) int { return clamp(v, p.strat.Min(), p.strat.Max()) }
+
+// bump adds d to a possibly-unknown estimate.
+func (p *PerDest) bump(v, d int) int {
+	if v == IDontKnow {
+		v = p.strat.Min()
+	}
+	return p.clamp(v + d)
+}
+
+// Backoff implements Policy: the sum of the congestion estimates at both
+// ends of the stream.
+func (p *PerDest) Backoff(dst frame.NodeID) int {
+	pe := p.Peer(dst)
+	bo := pe.Local
+	if pe.Remote != IDontKnow {
+		bo += pe.Remote
+	}
+	return clamp(bo, p.strat.Min(), 2*p.strat.Max())
+}
+
+// StartExchange implements Policy: at the beginning of a new packet the
+// stream's local counter re-synchronizes with my_backoff and the exchange
+// sequence number advances.
+func (p *PerDest) StartExchange(dst frame.NodeID) {
+	pe := p.Peer(dst)
+	pe.Local = p.My
+	pe.SendESN++
+	pe.SendRetry = 1
+}
+
+// StampSend implements Policy.
+func (p *PerDest) StampSend(f *frame.Frame) {
+	pe := p.Peer(f.Dst)
+	f.LocalBackoff = int16(pe.Local)
+	f.RemoteBackoff = int16(pe.Remote)
+	f.ESN = pe.SendESN
+}
+
+// OnOverhear implements Policy. Appendix B: "When a pad P hears a packet,
+// other than an RTS, from Q to R, P updates its estimate about Q and R's
+// contention levels by copying the local_backoff and remote_backoff values
+// carried in the packet. In addition, P also copies Q's backoff value as
+// its own backoff, assuming that Q is a nearby station." The my_backoff
+// copy mixes neighbourhood congestion both ways: it leaks high values
+// across cell borders (the §3.4 leakage caveat) but is also the only
+// channel through which an overheated sender/receiver pair cools back down
+// to its neighbourhood's level.
+func (p *PerDest) OnOverhear(f *frame.Frame) {
+	if f.Type == frame.RTS {
+		return
+	}
+	local := p.clamp(int(f.LocalBackoff))
+	p.Peer(f.Src).Remote = local
+	if f.RemoteBackoff != frame.IDontKnow {
+		p.Peer(f.Dst).Remote = p.clamp(int(f.RemoteBackoff))
+	}
+	p.My = local
+}
+
+// OnReceive implements Policy, the Appendix B receive rule.
+//
+// The values carried by an RTS are never adopted — extending the copying
+// rules' own rationale that RTS packets "may not carry the correct backoff
+// values" (the sender has not completed a handshake that would validate
+// them) — but a repeated RTS for the same exchange is direct evidence of a
+// collision at the sender's end, so the peer's estimate is penalized by the
+// observed retry count times ALPHA.
+//
+// Post-handshake frames (CTS, DS, DATA, ACK) carry authoritative values:
+// the peer's estimate is refreshed, and the peer's view of *our* congestion
+// is adopted as our local counter and my_backoff.
+func (p *PerDest) OnReceive(f *frame.Frame) {
+	pe := p.Peer(f.Src)
+	local := p.clamp(int(f.LocalBackoff))
+	if f.Type == frame.RTS {
+		switch {
+		case f.ESN > pe.SeenESN:
+			pe.SeenESN = f.ESN
+			pe.SeenRetry = 1
+		case f.ESN == pe.SeenESN:
+			// "Q's backoff = local_backoff + retry_count * ALPHA" —
+			// a replacement anchored to the packet's claim, not a
+			// cumulative bump: the estimate stays bounded by the
+			// retry limit instead of ratcheting to the maximum.
+			pe.Remote = p.clamp(local + pe.SeenRetry*p.Alpha)
+			if f.RemoteBackoff != frame.IDontKnow {
+				// "P's local_backoff = (local_backoff +
+				// remote_backoff) - Q's backoff": the sum of the
+				// two ends is preserved regardless of which end
+				// the collision charged.
+				pe.Local = p.clamp(local + int(f.RemoteBackoff) - pe.Remote)
+			}
+			pe.SeenRetry++
+		}
+		return
+	}
+	if f.ESN < pe.SeenESN {
+		return // stale
+	}
+	pe.SeenESN = f.ESN
+	pe.SeenRetry = 1
+	pe.Remote = local
+	if f.RemoteBackoff != frame.IDontKnow {
+		pe.Local = p.clamp(int(f.RemoteBackoff))
+		p.My = pe.Local
+	}
+}
+
+// OnSuccess implements Policy: a completed exchange applies Fdec to both
+// ends' estimates and resynchronizes my_backoff.
+func (p *PerDest) OnSuccess(dst frame.NodeID) {
+	pe := p.Peer(dst)
+	pe.Local = p.strat.Dec(pe.Local)
+	if pe.Remote != IDontKnow {
+		pe.Remote = p.strat.Dec(pe.Remote)
+	}
+	p.My = pe.Local
+	pe.SendRetry = 1
+}
+
+// OnFailure implements Policy: an RTS that evoked no response indicates
+// congestion at the receiver's end. Appendix B's timeout rule is additive —
+// "Q's backoff += retry_count * ALPHA" — so repeated retries of one packet
+// escalate (1+2+3+...) while an isolated collision costs only ALPHA. (A
+// multiplicative Finc here would let a busy neighbour starve a lightly
+// loaded sender permanently: each rare success undoes only Fdec's worth.)
+func (p *PerDest) OnFailure(dst frame.NodeID) {
+	pe := p.Peer(dst)
+	pe.Remote = p.bump(pe.Remote, pe.SendRetry*p.Alpha)
+	pe.SendRetry++
+}
+
+// OnGiveUp implements Policy: "If reached max_retry_count, P's
+// local_backoff used with Q = MAX_BACKOFF." The pseudocode also resets Q's
+// estimate to I_DONT_KNOW; this implementation keeps the accumulated remote
+// estimate instead — forgetting it (while the next packet re-syncs the
+// local counter with my_backoff) would erase all memory of the congestion
+// that caused the drop, letting a jammed sender return at full aggression
+// after every discarded packet. The estimate still decays normally through
+// Fdec on success and the copying rules.
+func (p *PerDest) OnGiveUp(dst frame.NodeID) {
+	pe := p.Peer(dst)
+	pe.Local = p.strat.Max()
+	pe.SendRetry = 1
+}

@@ -1,0 +1,63 @@
+package backoff
+
+import "macaw/internal/frame"
+
+// Single is the original MACA-style policy: one backoff counter governs
+// transmissions to every destination. With Copy enabled it additionally
+// implements §3.1's sharing scheme: "Whenever a station hears a packet, it
+// copies that value into its own backoff counter."
+type Single struct {
+	strat Strategy
+	copy  bool
+	value int
+}
+
+// NewSingle returns a single-counter policy using strat, optionally copying
+// overheard counters.
+func NewSingle(strat Strategy, copyOverheard bool) *Single {
+	return &Single{strat: strat, copy: copyOverheard, value: strat.Min()}
+}
+
+// Value returns the current counter, for tests and traces.
+func (s *Single) Value() int { return s.value }
+
+// Backoff implements Policy.
+func (s *Single) Backoff(frame.NodeID) int { return s.value }
+
+// StartExchange implements Policy (no per-exchange state in single mode).
+func (s *Single) StartExchange(frame.NodeID) {}
+
+// StampSend implements Policy.
+func (s *Single) StampSend(f *frame.Frame) {
+	f.LocalBackoff = int16(s.value)
+	f.RemoteBackoff = frame.IDontKnow
+	f.ESN = 0
+}
+
+// OnOverhear implements Policy. Table 1's fix: adopt the counter carried in
+// the overheard header. RTS packets are excluded, consistent with Appendix B.
+func (s *Single) OnOverhear(f *frame.Frame) {
+	if !s.copy || f.Type == frame.RTS {
+		return
+	}
+	s.value = clamp(int(f.LocalBackoff), s.strat.Min(), s.strat.Max())
+}
+
+// OnReceive implements Policy. Frames addressed to this station do NOT
+// overwrite the counter: the copying scheme shares congestion estimates
+// among *bystanders* ("whenever a station hears a packet..."), while an
+// exchange participant's counter must keep reflecting its own failures —
+// otherwise every CTS a struggling sender finally elicits would reset the
+// very backoff its timeouts accumulated, and two interfering cells can lock
+// into a permanent low-backoff collision war.
+func (s *Single) OnReceive(f *frame.Frame) {}
+
+// OnSuccess implements Policy.
+func (s *Single) OnSuccess(frame.NodeID) { s.value = s.strat.Dec(s.value) }
+
+// OnFailure implements Policy.
+func (s *Single) OnFailure(frame.NodeID) { s.value = s.strat.Inc(s.value) }
+
+// OnGiveUp implements Policy. In single-counter mode abandoning a packet
+// carries no extra state beyond the failures already recorded.
+func (s *Single) OnGiveUp(frame.NodeID) {}

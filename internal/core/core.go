@@ -1,0 +1,446 @@
+// Package core assembles the full simulated wireless LAN: stations (pads
+// and base stations) binding a radio to a MAC protocol instance, transport
+// agents multiplexed over the MAC, traffic generators, mobility and
+// power-off events, and the scenario runner that measures per-stream
+// throughput the way the paper does (a warmup period followed by a
+// measurement window).
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"macaw/internal/backoff"
+	"macaw/internal/frame"
+	"macaw/internal/geom"
+	"macaw/internal/mac"
+	"macaw/internal/mac/csma"
+	"macaw/internal/mac/maca"
+	"macaw/internal/mac/macaw"
+	"macaw/internal/mac/token"
+	"macaw/internal/phy"
+	"macaw/internal/sim"
+	"macaw/internal/stats"
+	"macaw/internal/traffic"
+	"macaw/internal/transport"
+)
+
+// MACFactory builds a MAC instance over the prepared environment.
+type MACFactory func(env *mac.Env) mac.MAC
+
+// MACAFactory returns the original MACA protocol (Appendix A).
+func MACAFactory() MACFactory {
+	return func(env *mac.Env) mac.MAC { return maca.New(env) }
+}
+
+// MACAWFactory returns the MACAW engine with the given options. Options
+// with a non-nil Policy must not be shared across stations; use
+// MACAWFactoryWith for per-station policies.
+func MACAWFactory(opt macaw.Options) MACFactory {
+	if opt.Policy != nil {
+		panic("core: shared backoff.Policy across stations; use MACAWFactoryWith")
+	}
+	return func(env *mac.Env) mac.MAC { return macaw.New(env, opt) }
+}
+
+// MACAWFactoryWith returns a MACAW factory that builds a fresh backoff
+// policy per station.
+func MACAWFactoryWith(opt macaw.Options, policy func() backoff.Policy) MACFactory {
+	return func(env *mac.Env) mac.MAC {
+		o := opt
+		o.Policy = policy()
+		return macaw.New(env, o)
+	}
+}
+
+// CSMAFactory returns the carrier-sense baseline.
+func CSMAFactory(opt csma.Options) MACFactory {
+	return func(env *mac.Env) mac.MAC { return csma.New(env, opt) }
+}
+
+// TokenFactory returns the token-based single-cell scheme the paper defers
+// to future work. All stations of the network must belong to the ring;
+// AddStation assigns ids 1..N in creation order, so a ring of the first N
+// ids covers a network built before any stream is added.
+func TokenFactory(opt token.Options) MACFactory {
+	return func(env *mac.Env) mac.MAC { return token.New(env, opt) }
+}
+
+// RingOf returns the node ids 1..n, the ring of a network's first n
+// stations in creation order.
+func RingOf(n int) []frame.NodeID {
+	ring := make([]frame.NodeID, n)
+	for i := range ring {
+		ring[i] = frame.NodeID(i + 1)
+	}
+	return ring
+}
+
+// Station is one pad or base station.
+type Station struct {
+	id    frame.NodeID
+	name  string
+	net   *Network
+	radio *phy.Radio
+	mac   mac.MAC
+
+	handlers []func(src frame.NodeID, seg transport.Segment)
+	// dropped accumulates MAC-level packet drops surfaced via callbacks.
+	dropped int
+}
+
+// ID returns the station identifier.
+func (st *Station) ID() frame.NodeID { return st.id }
+
+// Name returns the human-readable station name (e.g. "P1", "B2").
+func (st *Station) Name() string { return st.name }
+
+// Radio exposes the station's radio (for mobility and power control).
+func (st *Station) Radio() *phy.Radio { return st.radio }
+
+// MAC exposes the station's protocol instance.
+func (st *Station) MAC() mac.MAC { return st.mac }
+
+// Dropped reports MAC-level packet drops at this station.
+func (st *Station) Dropped() int { return st.dropped }
+
+// SendSegment implements transport.Endpoint: wrap the segment into a MAC
+// packet of the requested on-air size. A powered-off station sends nothing.
+func (st *Station) SendSegment(dst frame.NodeID, seg transport.Segment, size int) {
+	if !st.radio.Enabled() {
+		return
+	}
+	st.mac.Enqueue(&mac.Packet{Dst: dst, Size: size, Payload: seg.Marshal()})
+}
+
+// Clock implements transport.Endpoint.
+func (st *Station) Clock() *sim.Simulator { return st.net.Sim }
+
+// onDeliver demultiplexes a MAC payload to the registered transport agents.
+func (st *Station) onDeliver(src frame.NodeID, payload []byte) {
+	seg, err := transport.UnmarshalSegment(payload)
+	if err != nil {
+		return // not a transport segment (e.g. raw example traffic)
+	}
+	for _, h := range st.handlers {
+		h(src, seg)
+	}
+}
+
+// Handle registers a transport handler at this station.
+func (st *Station) Handle(h func(src frame.NodeID, seg transport.Segment)) {
+	st.handlers = append(st.handlers, h)
+}
+
+// TransportKind selects a stream's transport protocol.
+type TransportKind int
+
+// Transports.
+const (
+	UDP TransportKind = iota
+	TCP
+)
+
+// String names the transport.
+func (k TransportKind) String() string {
+	if k == UDP {
+		return "UDP"
+	}
+	return "TCP"
+}
+
+// Stream is one unidirectional data stream between two stations.
+type Stream struct {
+	Name      string
+	From, To  *Station
+	Kind      TransportKind
+	Rate      float64
+	id        uint16
+	startAt   sim.Duration
+	gen       traffic.Generator
+	counter   *stats.Windowed
+	udpSender *transport.UDPSender
+	tcpSender *transport.TCPSender
+	tcpRecv   *transport.TCPReceiver
+	offered   int
+
+	offeredAt map[uint32]sim.Time
+	delays    []sim.Duration
+}
+
+// Offered reports the number of packets the application generated.
+func (s *Stream) Offered() int { return s.offered }
+
+// SetStart delays the stream's traffic generator by d after the run begins;
+// several of the paper's scenarios assume one stream is established before
+// the other starts contending.
+func (s *Stream) SetStart(d sim.Duration) { s.startAt = d }
+
+// TCPSenderStats returns the TCP sender counters (zero value for UDP).
+func (s *Stream) TCPSenderStats() transport.TCPStats {
+	if s.tcpSender == nil {
+		return transport.TCPStats{}
+	}
+	return s.tcpSender.Stats()
+}
+
+// Network is a complete simulated LAN.
+type Network struct {
+	Sim      *sim.Simulator
+	Medium   *phy.Medium
+	Cfg      mac.Config
+	stations []*Station
+	byName   map[string]*Station
+	streams  []*Stream
+	nextID   frame.NodeID
+	nextSID  uint16
+	warmup   sim.Duration
+
+	// TCPCfg configures new TCP streams. The default matches the
+	// paper-era TCP §3.3.1 describes: a 0.5 s minimum retransmission
+	// timeout and no fast retransmit.
+	TCPCfg transport.TCPConfig
+}
+
+// NewNetwork creates a network with the paper's default radio and MAC
+// parameters.
+func NewNetwork(seed int64) *Network {
+	s := sim.New(seed)
+	tcpCfg := transport.DefaultTCPConfig()
+	tcpCfg.DupAckThreshold = 0 // 1994-era TCP: timeout-driven recovery only
+	return &Network{
+		Sim:    s,
+		Medium: phy.New(s, phy.DefaultParams()),
+		Cfg:    mac.DefaultConfig(),
+		byName: make(map[string]*Station),
+		nextID: 1,
+		TCPCfg: tcpCfg,
+	}
+}
+
+// AddStation creates a station at pos running the protocol built by f.
+func (n *Network) AddStation(name string, pos geom.Vec3, f MACFactory) *Station {
+	if _, dup := n.byName[name]; dup {
+		panic(fmt.Sprintf("core: duplicate station name %q", name))
+	}
+	st := &Station{id: n.nextID, name: name, net: n}
+	n.nextID++
+	st.radio = n.Medium.Attach(st.id, pos, nil)
+	env := &mac.Env{
+		Sim:   n.Sim,
+		Radio: st.radio,
+		Rand:  n.Sim.NewRand(),
+		Cfg:   n.Cfg,
+		Callbacks: mac.Callbacks{
+			Deliver: st.onDeliver,
+			Dropped: func(*mac.Packet, mac.DropReason) { st.dropped++ },
+		},
+	}
+	st.mac = f(env)
+	n.stations = append(n.stations, st)
+	n.byName[name] = st
+	return st
+}
+
+// Station returns the station with the given name, or nil.
+func (n *Network) Station(name string) *Station { return n.byName[name] }
+
+// Stations returns all stations in creation order.
+func (n *Network) Stations() []*Station { return n.stations }
+
+// Streams returns all streams in creation order.
+func (n *Network) Streams() []*Stream { return n.streams }
+
+// AddStream creates a unidirectional stream from -> to at rate packets per
+// second using the given transport. The stream name follows the paper's
+// "P1-B1" convention unless overridden with SetName.
+func (n *Network) AddStream(from, to *Station, kind TransportKind, rate float64) *Stream {
+	n.nextSID++
+	s := &Stream{
+		Name: from.name + "-" + to.name,
+		From: from, To: to, Kind: kind, Rate: rate,
+		id: n.nextSID,
+	}
+	switch kind {
+	case UDP:
+		snd := transport.NewUDPSender(from, to.id, s.id)
+		rcv := transport.NewUDPReceiver(s.id)
+		rcv.OnDeliver = func(seq uint32) { s.record(n.Sim.Now(), seq) }
+		to.Handle(rcv.Handle)
+		s.udpSender = snd
+		s.gen = traffic.NewCBR(n.Sim, rate, n.Sim.NewRand(), func() { s.offer(snd.Offer()) })
+	case TCP:
+		snd := transport.NewTCPSender(from, to.id, s.id, n.TCPCfg)
+		rcv := transport.NewTCPReceiver(to, s.id)
+		rcv.OnDeliver = func(seq uint32) { s.record(n.Sim.Now(), seq) }
+		from.Handle(snd.Handle)
+		to.Handle(rcv.Handle)
+		s.tcpSender = snd
+		s.tcpRecv = rcv
+		s.gen = traffic.NewCBR(n.Sim, rate, n.Sim.NewRand(), func() { s.offer(snd.Offer()) })
+	default:
+		panic("core: unknown transport kind")
+	}
+	n.streams = append(n.streams, s)
+	return s
+}
+
+func (s *Stream) offer(seq uint32) {
+	s.offered++
+	if s.offeredAt == nil {
+		s.offeredAt = make(map[uint32]sim.Time)
+	}
+	s.offeredAt[seq] = s.From.net.Sim.Now()
+}
+
+func (s *Stream) record(t sim.Time, seq uint32) {
+	if s.counter != nil {
+		s.counter.Record(t)
+		if at, ok := s.offeredAt[seq]; ok {
+			if t >= s.counter.Warmup() {
+				s.delays = append(s.delays, t-at)
+			}
+			delete(s.offeredAt, seq)
+		}
+	}
+}
+
+// Delays returns the in-window delivery delays (offer to in-order arrival).
+func (s *Stream) Delays() []sim.Duration { return s.delays }
+
+// At schedules fn at simulation time t (for mobility, power-off, noise
+// toggles and other scenario events).
+func (n *Network) At(t sim.Time, fn func()) { n.Sim.At(t, fn) }
+
+// PowerOff turns a station off at time t: its radio stops radiating and
+// hearing, and its generators stop (the Figure 9 dead-pad scenario).
+func (n *Network) PowerOff(st *Station, t sim.Time) {
+	n.At(t, func() {
+		st.radio.SetEnabled(false)
+		for _, s := range n.streams {
+			if s.From == st {
+				s.gen.Stop(n.Sim.Now())
+			}
+		}
+	})
+}
+
+// MoveStation relocates a station at time t (the Figure 11 mobile pad).
+func (n *Network) MoveStation(st *Station, t sim.Time, pos geom.Vec3) {
+	n.At(t, func() { st.radio.SetPos(pos) })
+}
+
+// StreamResult is one row of a results table.
+type StreamResult struct {
+	Name      string
+	PPS       float64
+	Delivered int
+	Offered   int
+	// MeanDelay and P95Delay summarize offer-to-delivery latency inside
+	// the measurement window.
+	MeanDelay sim.Duration
+	P95Delay  sim.Duration
+}
+
+// Results summarizes a run.
+type Results struct {
+	Streams  []StreamResult
+	Duration sim.Duration
+	Warmup   sim.Duration
+	Medium   phy.Counters
+}
+
+// PPS returns the measured rate of the named stream (0 if unknown).
+func (r Results) PPS(name string) float64 {
+	for _, s := range r.Streams {
+		if s.Name == name {
+			return s.PPS
+		}
+	}
+	return 0
+}
+
+// TotalPPS sums the per-stream rates.
+func (r Results) TotalPPS() float64 {
+	var t float64
+	for _, s := range r.Streams {
+		t += s.PPS
+	}
+	return t
+}
+
+// Rates returns the per-stream rates in stream order.
+func (r Results) Rates() []float64 {
+	out := make([]float64, len(r.Streams))
+	for i, s := range r.Streams {
+		out[i] = s.PPS
+	}
+	return out
+}
+
+// Fairness returns Jain's index over the per-stream rates.
+func (r Results) Fairness() float64 { return stats.Jain(r.Rates()) }
+
+// String renders the results as an aligned table.
+func (r Results) String() string {
+	out := fmt.Sprintf("%-10s %10s %10s %10s %12s %12s\n", "stream", "pps", "delivered", "offered", "mean delay", "p95 delay")
+	for _, s := range r.Streams {
+		out += fmt.Sprintf("%-10s %10.2f %10d %10d %12v %12v\n", s.Name, s.PPS, s.Delivered, s.Offered, s.MeanDelay, s.P95Delay)
+	}
+	out += fmt.Sprintf("total %.2f pps, fairness %.3f\n", r.TotalPPS(), r.Fairness())
+	return out
+}
+
+// Run simulates for total seconds of simulated time, measuring throughput
+// from warmup onward. Generators start at t=0 (any previous run's state is
+// preserved; Run is intended to be called once per Network).
+func (n *Network) Run(total, warmup sim.Duration) Results {
+	if warmup >= total {
+		panic("core: warmup must precede the end of the run")
+	}
+	n.warmup = warmup
+	start := n.Sim.Now()
+	for _, s := range n.streams {
+		s.counter = stats.NewWindowed(start+warmup, start+total)
+		s.gen.Start(start + s.startAt)
+	}
+	n.Sim.Run(start + total)
+	res := Results{Duration: total, Warmup: warmup, Medium: n.Medium.Counters()}
+	for _, s := range n.streams {
+		r := StreamResult{
+			Name:      s.Name,
+			PPS:       s.counter.PPS(),
+			Delivered: s.counter.Count(),
+			Offered:   s.offered,
+		}
+		if len(s.delays) > 0 {
+			var sum sim.Duration
+			xs := make([]float64, len(s.delays))
+			for i, d := range s.delays {
+				sum += d
+				xs[i] = float64(d)
+			}
+			r.MeanDelay = sum / sim.Duration(len(s.delays))
+			r.P95Delay = sim.Duration(stats.Percentile(xs, 0.95))
+		}
+		res.Streams = append(res.Streams, r)
+	}
+	return res
+}
+
+// HearingGraph returns the station names each station can hear, keyed by
+// name — used by topology tests to pin the paper's configurations.
+func (n *Network) HearingGraph() map[string][]string {
+	g := make(map[string][]string)
+	for _, a := range n.stations {
+		var hears []string
+		for _, b := range n.stations {
+			if a != b && n.Medium.InRange(a.radio, b.radio) {
+				hears = append(hears, b.name)
+			}
+		}
+		sort.Strings(hears)
+		g[a.name] = hears
+	}
+	return g
+}

@@ -1,0 +1,247 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"macaw/internal/backoff"
+	"macaw/internal/geom"
+	"macaw/internal/mac/csma"
+	"macaw/internal/mac/macaw"
+	"macaw/internal/sim"
+)
+
+func TestAddStationAssignsIDsAndNames(t *testing.T) {
+	n := NewNetwork(1)
+	a := n.AddStation("P1", geom.V(0, 0, 6), MACAFactory())
+	b := n.AddStation("B", geom.V(0, 0, 12), MACAFactory())
+	if a.ID() == b.ID() {
+		t.Fatal("duplicate IDs")
+	}
+	if a.Name() != "P1" || n.Station("P1") != a || n.Station("B") != b {
+		t.Fatal("name lookup broken")
+	}
+	if n.Station("nope") != nil {
+		t.Fatal("unknown name returned a station")
+	}
+	if len(n.Stations()) != 2 {
+		t.Fatal("Stations() wrong")
+	}
+}
+
+func TestDuplicateStationNamePanics(t *testing.T) {
+	n := NewNetwork(1)
+	n.AddStation("X", geom.V(0, 0, 6), MACAFactory())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on duplicate name")
+		}
+	}()
+	n.AddStation("X", geom.V(1, 0, 6), MACAFactory())
+}
+
+func TestSharedPolicyFactoryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on shared policy")
+		}
+	}()
+	MACAWFactory(macaw.Options{Policy: backoff.NewSingle(backoff.NewBEB(), false)})
+}
+
+func TestUDPStreamOverMACAW(t *testing.T) {
+	n := NewNetwork(1)
+	p := n.AddStation("P1", geom.V(-4, 0, 6), MACAWFactory(macaw.DefaultOptions()))
+	b := n.AddStation("B", geom.V(0, 0, 12), MACAWFactory(macaw.DefaultOptions()))
+	st := n.AddStream(p, b, UDP, 32)
+	if st.Name != "P1-B" {
+		t.Fatalf("stream name = %q", st.Name)
+	}
+	res := n.Run(20*sim.Second, 2*sim.Second)
+	got := res.PPS("P1-B")
+	if got < 30 || got > 33 {
+		t.Fatalf("PPS = %v, want ~32", got)
+	}
+	if res.PPS("nope") != 0 {
+		t.Fatal("unknown stream PPS nonzero")
+	}
+	if st.Offered() < 600 {
+		t.Fatalf("offered = %d", st.Offered())
+	}
+	if !strings.Contains(res.String(), "P1-B") {
+		t.Fatal("results table missing stream")
+	}
+}
+
+func TestTCPStreamOverMACAW(t *testing.T) {
+	n := NewNetwork(2)
+	p := n.AddStation("P1", geom.V(-4, 0, 6), MACAWFactory(macaw.DefaultOptions()))
+	b := n.AddStation("B", geom.V(0, 0, 12), MACAWFactory(macaw.DefaultOptions()))
+	st := n.AddStream(p, b, TCP, 32)
+	res := n.Run(20*sim.Second, 2*sim.Second)
+	got := res.PPS("P1-B")
+	// The full RTS-CTS-DS-DATA-ACK exchange plus a same-cost exchange for
+	// every TCP acknowledgement caps a single TCP stream well below the
+	// UDP rate (each data+ack pair occupies ~25-30ms of air).
+	if got < 20 || got > 33 {
+		t.Fatalf("TCP PPS = %v, want 20-33 (ack-exchange-bound)", got)
+	}
+	if st.TCPSenderStats().Sent == 0 {
+		t.Fatal("TCP sender stats empty")
+	}
+	if st.Kind.String() != "TCP" || UDP.String() != "UDP" {
+		t.Fatal("TransportKind strings")
+	}
+}
+
+func TestWarmupExcludedFromMeasurement(t *testing.T) {
+	n := NewNetwork(3)
+	p := n.AddStation("P1", geom.V(-4, 0, 6), MACAWFactory(macaw.DefaultOptions()))
+	b := n.AddStation("B", geom.V(0, 0, 12), MACAWFactory(macaw.DefaultOptions()))
+	n.AddStream(p, b, UDP, 32)
+	res := n.Run(10*sim.Second, 5*sim.Second)
+	// ~32pps over a 5s window is ~160 packets; total generated is ~320.
+	d := res.Streams[0].Delivered
+	if d < 150 || d > 170 {
+		t.Fatalf("windowed delivered = %d, want ~160", d)
+	}
+}
+
+func TestInvalidWarmupPanics(t *testing.T) {
+	n := NewNetwork(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	n.Run(5*sim.Second, 5*sim.Second)
+}
+
+func TestPowerOffSilencesStation(t *testing.T) {
+	n := NewNetwork(4)
+	p := n.AddStation("P1", geom.V(-4, 0, 6), MACAWFactory(macaw.DefaultOptions()))
+	b := n.AddStation("B", geom.V(0, 0, 12), MACAWFactory(macaw.DefaultOptions()))
+	n.AddStream(p, b, UDP, 32)
+	n.PowerOff(p, 5*sim.Second)
+	res := n.Run(20*sim.Second, 1*sim.Second)
+	// Only ~4s of the 19s window carries traffic.
+	got := res.Streams[0].Delivered
+	if got < 100 || got > 170 {
+		t.Fatalf("delivered = %d, want ~128 (stopped at 5s)", got)
+	}
+	if p.Radio().Enabled() {
+		t.Fatal("radio still enabled")
+	}
+}
+
+func TestMoveStationEnablesStream(t *testing.T) {
+	n := NewNetwork(5)
+	p := n.AddStation("P1", geom.V(100, 0, 6), MACAWFactory(macaw.DefaultOptions()))
+	b := n.AddStation("B", geom.V(0, 0, 12), MACAWFactory(macaw.DefaultOptions()))
+	n.AddStream(p, b, UDP, 32)
+	n.MoveStation(p, 10*sim.Second, geom.V(-4, 0, 6))
+	res := n.Run(20*sim.Second, 0)
+	got := res.Streams[0].Delivered
+	// Nothing flows before the move; afterwards the live traffic plus the
+	// MAC backlog accumulated while unreachable drains at channel rate.
+	if got < 250 || got > res.Streams[0].Offered {
+		t.Fatalf("delivered = %d (offered %d), want >=250 after the move", got, res.Streams[0].Offered)
+	}
+}
+
+func TestHearingGraphSymmetricAndSorted(t *testing.T) {
+	n := NewNetwork(6)
+	n.AddStation("A", geom.V(0, 0, 6), MACAFactory())
+	n.AddStation("B", geom.V(6, 0, 6), MACAFactory())
+	n.AddStation("C", geom.V(30, 0, 6), MACAFactory())
+	g := n.HearingGraph()
+	if len(g["A"]) != 1 || g["A"][0] != "B" {
+		t.Fatalf("A hears %v", g["A"])
+	}
+	if len(g["B"]) != 1 || g["B"][0] != "A" {
+		t.Fatalf("B hears %v", g["B"])
+	}
+	if len(g["C"]) != 0 {
+		t.Fatalf("C hears %v", g["C"])
+	}
+}
+
+func TestResultsHelpers(t *testing.T) {
+	r := Results{Streams: []StreamResult{
+		{Name: "a", PPS: 10}, {Name: "b", PPS: 30},
+	}}
+	if r.TotalPPS() != 40 {
+		t.Fatal("TotalPPS")
+	}
+	if got := r.Rates(); len(got) != 2 || got[0] != 10 {
+		t.Fatal("Rates")
+	}
+	if f := r.Fairness(); f <= 0.5 || f >= 1 {
+		t.Fatalf("Fairness = %v", f)
+	}
+}
+
+func TestCSMAFactoryWorksEndToEnd(t *testing.T) {
+	n := NewNetwork(7)
+	p := n.AddStation("P1", geom.V(-4, 0, 6), CSMAFactory(csma.Options{ACK: true}))
+	b := n.AddStation("B", geom.V(0, 0, 12), CSMAFactory(csma.Options{ACK: true}))
+	n.AddStream(p, b, UDP, 16)
+	res := n.Run(10*sim.Second, 1*sim.Second)
+	if res.PPS("P1-B") < 14 {
+		t.Fatalf("CSMA PPS = %v", res.PPS("P1-B"))
+	}
+}
+
+func TestDeterministicResults(t *testing.T) {
+	run := func() Results {
+		n := NewNetwork(42)
+		p1 := n.AddStation("P1", geom.V(-4, 0, 6), MACAWFactory(macaw.DefaultOptions()))
+		p2 := n.AddStation("P2", geom.V(4, 0, 6), MACAWFactory(macaw.DefaultOptions()))
+		b := n.AddStation("B", geom.V(0, 0, 12), MACAWFactory(macaw.DefaultOptions()))
+		n.AddStream(p1, b, UDP, 64)
+		n.AddStream(p2, b, UDP, 64)
+		return n.Run(30*sim.Second, 5*sim.Second)
+	}
+	a, b := run(), run()
+	for i := range a.Streams {
+		if a.Streams[i].Delivered != b.Streams[i].Delivered {
+			t.Fatalf("nondeterministic stream %d: %d vs %d", i, a.Streams[i].Delivered, b.Streams[i].Delivered)
+		}
+	}
+}
+
+func TestDelayStatsPopulated(t *testing.T) {
+	n := NewNetwork(9)
+	p := n.AddStation("P1", geom.V(-4, 0, 6), MACAWFactory(macaw.DefaultOptions()))
+	b := n.AddStation("B", geom.V(0, 0, 12), MACAWFactory(macaw.DefaultOptions()))
+	st := n.AddStream(p, b, UDP, 8) // far below capacity: low, stable delays
+	res := n.Run(20*sim.Second, 2*sim.Second)
+	r := res.Streams[0]
+	if r.MeanDelay <= 0 || r.P95Delay <= 0 {
+		t.Fatalf("delay stats empty: %+v", r)
+	}
+	// An uncontended exchange takes ~20-25ms including contention.
+	if r.MeanDelay > 100*sim.Millisecond {
+		t.Fatalf("mean delay %v too high for an idle channel", r.MeanDelay)
+	}
+	if r.P95Delay < r.MeanDelay {
+		t.Fatal("p95 below mean")
+	}
+	if len(st.Delays()) == 0 {
+		t.Fatal("Delays() empty")
+	}
+}
+
+func TestDelayGrowsUnderSaturation(t *testing.T) {
+	run := func(rate float64) sim.Duration {
+		n := NewNetwork(9)
+		p := n.AddStation("P1", geom.V(-4, 0, 6), MACAWFactory(macaw.DefaultOptions()))
+		b := n.AddStation("B", geom.V(0, 0, 12), MACAWFactory(macaw.DefaultOptions()))
+		n.AddStream(p, b, UDP, rate)
+		return n.Run(20*sim.Second, 2*sim.Second).Streams[0].MeanDelay
+	}
+	idle, saturated := run(8), run(64)
+	if saturated < 10*idle {
+		t.Fatalf("saturation delay %v not far above idle %v", saturated, idle)
+	}
+}

@@ -1,0 +1,220 @@
+// Package experiments regenerates every table in the paper's evaluation
+// (Tables 1–11), pairing each measured column with the values the paper
+// reports so the shape of each result — who wins, by roughly what factor,
+// and which mechanism fixes which pathology — can be checked directly.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"macaw/internal/core"
+	"macaw/internal/sim"
+	"macaw/internal/topo"
+)
+
+// RunConfig sets the length of each simulation run.
+type RunConfig struct {
+	// Total is the simulated duration; Warmup the portion excluded from
+	// measurement ("simulations are typically run between 500 and 2000
+	// seconds, with a warmup period of 50 seconds").
+	Total  sim.Duration
+	Warmup sim.Duration
+	Seed   int64
+}
+
+// Paper returns the paper's run length.
+func Paper() RunConfig {
+	return RunConfig{Total: 500 * sim.Second, Warmup: 50 * sim.Second, Seed: 1}
+}
+
+// Quick returns a shortened run for tests and benchmarks; long enough for
+// every table's dynamics (capture effects, starvation, noise) to develop.
+func Quick() RunConfig {
+	return RunConfig{Total: 120 * sim.Second, Warmup: 10 * sim.Second, Seed: 1}
+}
+
+// Bench returns the shortest run that still exhibits each table's shape.
+func Bench() RunConfig {
+	return RunConfig{Total: 40 * sim.Second, Warmup: 5 * sim.Second, Seed: 1}
+}
+
+// Column is one protocol variant's measurements.
+type Column struct {
+	// Name identifies the variant as the paper's table header does.
+	Name string
+	// Paper holds the values the paper reports, keyed by stream name;
+	// missing entries mean the paper's table omitted or truncated them.
+	Paper map[string]float64
+	// Results holds this reproduction's measurements.
+	Results core.Results
+}
+
+// Table is one reproduced experiment.
+type Table struct {
+	// ID is "table1".."table11"; Figure names the topology.
+	ID, Figure string
+	// Title describes the experiment.
+	Title string
+	// Streams lists the row order (stream names).
+	Streams []string
+	// Columns holds one entry per protocol variant.
+	Columns []Column
+	// Notes records interpretation decisions affecting comparison.
+	Notes string
+}
+
+// Render returns an aligned text table interleaving paper and measured
+// values.
+func (t Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s (%s)\n", strings.ToUpper(t.ID), t.Title, t.Figure)
+	fmt.Fprintf(&b, "%-10s", "stream")
+	for _, c := range t.Columns {
+		fmt.Fprintf(&b, " | %22s", c.Name)
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "%-10s", "")
+	for range t.Columns {
+		fmt.Fprintf(&b, " | %10s %11s", "paper", "measured")
+	}
+	b.WriteString("\n")
+	for _, s := range t.Streams {
+		fmt.Fprintf(&b, "%-10s", s)
+		for _, c := range t.Columns {
+			paper := "-"
+			if v, ok := c.Paper[s]; ok {
+				paper = fmt.Sprintf("%.2f", v)
+			}
+			fmt.Fprintf(&b, " | %10s %11.2f", paper, c.Results.PPS(s))
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "%-10s", "TOTAL")
+	for _, c := range t.Columns {
+		var paperTotal float64
+		seen := true
+		for _, s := range t.Streams {
+			v, ok := c.Paper[s]
+			if !ok {
+				seen = false
+				break
+			}
+			paperTotal += v
+		}
+		paper := "-"
+		if seen {
+			paper = fmt.Sprintf("%.2f", paperTotal)
+		}
+		var total float64
+		for _, s := range t.Streams {
+			total += c.Results.PPS(s)
+		}
+		fmt.Fprintf(&b, " | %10s %11.2f", paper, total)
+	}
+	b.WriteString("\n")
+	if t.Notes != "" {
+		fmt.Fprintf(&b, "note: %s\n", t.Notes)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values: one row per stream,
+// with a paper and a measured column per variant.
+func (t Table) CSV() string {
+	var b strings.Builder
+	b.WriteString("stream")
+	for _, c := range t.Columns {
+		fmt.Fprintf(&b, ",%s paper,%s measured", c.Name, c.Name)
+	}
+	b.WriteString("\n")
+	for _, s := range t.Streams {
+		b.WriteString(s)
+		for _, c := range t.Columns {
+			if v, ok := c.Paper[s]; ok {
+				fmt.Fprintf(&b, ",%.2f", v)
+			} else {
+				b.WriteString(",")
+			}
+			fmt.Fprintf(&b, ",%.2f", c.Results.PPS(s))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// MeasuredTotal sums the measured rates of column i over the table's rows.
+func (t Table) MeasuredTotal(i int) float64 {
+	var total float64
+	for _, s := range t.Streams {
+		total += t.Columns[i].Results.PPS(s)
+	}
+	return total
+}
+
+// runLayout builds the layout on a fresh network, applies mods (noise,
+// mobility, power events), and runs it.
+func runLayout(cfg RunConfig, l topo.Layout, f core.MACFactory, mods ...func(*core.Network)) core.Results {
+	n := core.NewNetwork(cfg.Seed)
+	if err := l.Build(n, f); err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	for _, mod := range mods {
+		mod(n)
+	}
+	return n.Run(cfg.Total, cfg.Warmup)
+}
+
+// streamNames lists a layout's stream names in declaration order.
+func streamNames(l topo.Layout) []string {
+	out := make([]string, 0, len(l.Streams))
+	for _, s := range l.Streams {
+		out = append(out, s.From+"-"+s.To)
+	}
+	return out
+}
+
+// Generator is a named experiment factory.
+type Generator struct {
+	ID   string
+	Name string
+	Run  func(cfg RunConfig) Table
+}
+
+// All returns every table generator in order.
+func All() []Generator {
+	return []Generator{
+		{"table1", "BEB vs backoff copying (Figure 2)", Table1},
+		{"table2", "BEB vs MILD under contention (Figure 3)", Table2},
+		{"table3", "single vs per-stream queues (Figure 4)", Table3},
+		{"table4", "link-level ACK under noise", Table4},
+		{"table5", "DS and the exposed terminal (Figure 5)", Table5},
+		{"table6", "RRTS and receiver-side contention (Figure 6)", Table6},
+		{"table7", "the unsolved configuration (Figure 7)", Table7},
+		{"table8", "per-destination backoff with a dead pad (Figure 9)", Table8},
+		{"table9", "single-stream protocol overhead", Table9},
+		{"table10", "MACA vs MACAW, three cells (Figure 10)", Table10},
+		{"table11", "MACA vs MACAW, office scenario (Figure 11)", Table11},
+	}
+}
+
+// ByID returns the generator with the given id, or false.
+func ByID(id string) (Generator, bool) {
+	for _, g := range All() {
+		if g.ID == id {
+			return g, true
+		}
+	}
+	return Generator{}, false
+}
+
+// IDs returns the sorted experiment ids.
+func IDs() []string {
+	var ids []string
+	for _, g := range All() {
+		ids = append(ids, g.ID)
+	}
+	sort.Strings(ids)
+	return ids
+}

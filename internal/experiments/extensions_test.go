@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"testing"
+
+	"macaw/internal/stats"
+)
+
+func TestExtAckSchemesPiggybackShinesUnderNoise(t *testing.T) {
+	tab := ExtAckSchemes(Quick())
+	ack := tab.Columns[0].Results
+	pb := tab.Columns[1].Results
+	nack := tab.Columns[2].Results
+	// All three deliver at p=0 within a few percent of each other, with
+	// piggyback slightly ahead (one fewer control slot per packet).
+	if pb.PPS("p=0") <= ack.PPS("p=0") {
+		t.Fatalf("piggyback %.1f not above ACK %.1f at p=0", pb.PPS("p=0"), ack.PPS("p=0"))
+	}
+	// Under heavy noise the per-packet ACK scheme loses a slot+retry per
+	// dropped ACK; piggyback recovers through the next CTS and keeps most
+	// of its throughput.
+	if pb.PPS("p=0.1") < 2*ack.PPS("p=0.1") {
+		t.Fatalf("piggyback %.1f vs ACK %.1f at p=0.1", pb.PPS("p=0.1"), ack.PPS("p=0.1"))
+	}
+	// NACK behaves like ACK on a UDP stream (the NACK only fires when a
+	// CTS went unanswered by data).
+	if nack.PPS("p=0") < ack.PPS("p=0")*0.9 || nack.PPS("p=0") > ack.PPS("p=0")*1.1 {
+		t.Fatalf("NACK %.1f vs ACK %.1f at p=0", nack.PPS("p=0"), ack.PPS("p=0"))
+	}
+}
+
+func TestExtCarrierSenseSerializesExposedTerminals(t *testing.T) {
+	tab := ExtCarrierSense(Quick())
+	ds := tab.Columns[0].Results
+	cs := tab.Columns[1].Results
+	both := tab.Columns[2].Results
+	// Carrier sense keeps the exposed pair fair and near single-channel
+	// capacity (it forbids the concurrent transmissions DS permits).
+	if cs.TotalPPS() < 44 || cs.TotalPPS() > 56 {
+		t.Fatalf("carrier-sense total %.1f, want ~channel capacity", cs.TotalPPS())
+	}
+	for _, s := range tab.Streams {
+		if cs.PPS(s) < 20 {
+			t.Fatalf("carrier sense starved %s: %.1f", s, cs.PPS(s))
+		}
+	}
+	// DS alone finds the parallel attractor (receivers out of each
+	// other's range), beating serialization.
+	if ds.TotalPPS() < cs.TotalPPS() {
+		t.Fatalf("DS %.1f below carrier sense %.1f", ds.TotalPPS(), cs.TotalPPS())
+	}
+	// Adding carrier sense to DS forbids the parallelism again — this is
+	// the configuration that matches the paper's serialized Table 5.
+	if both.TotalPPS() > cs.TotalPPS()*1.1 {
+		t.Fatalf("DS+CS %.1f should serialize like CS %.1f", both.TotalPPS(), cs.TotalPPS())
+	}
+}
+
+func TestExtLeakagePerDestImprovesTotal(t *testing.T) {
+	tab := ExtLeakage(Quick())
+	if tab.MeasuredTotal(1) < tab.MeasuredTotal(0) {
+		t.Fatalf("per-destination total %.1f below single+copy %.1f",
+			tab.MeasuredTotal(1), tab.MeasuredTotal(0))
+	}
+	// The interior C2 pad must not be idled by leaked C1 counters under
+	// the per-destination scheme.
+	if tab.Columns[1].Results.PPS("P6-B2") < tab.Columns[0].Results.PPS("P6-B2") {
+		t.Fatalf("per-dest P6-B2 %.1f below single %.1f",
+			tab.Columns[1].Results.PPS("P6-B2"), tab.Columns[0].Results.PPS("P6-B2"))
+	}
+}
+
+func TestExtMulticastHiddenInterfererFlaw(t *testing.T) {
+	r := ExtMulticast(Quick())
+	if r.Sent == 0 {
+		t.Fatal("no multicast packets sent")
+	}
+	// Receivers inside the sender's protective range hear everything.
+	if r.NearDelivered < r.Sent*9/10 {
+		t.Fatalf("near receiver got %d of %d", r.NearDelivered, r.Sent)
+	}
+	// The §3.3.4 flaw: a receiver also in range of a hidden interferer
+	// is unprotected — "those that are within range of a receiver but
+	// not the sender will not be given any signal to defer".
+	if r.FarDelivered > r.Sent/4 {
+		t.Fatalf("far receiver got %d of %d; the multicast flaw did not appear", r.FarDelivered, r.Sent)
+	}
+	// The interferer's own unicast stream is meanwhile fully protected
+	// by its RTS-CTS exchange.
+	if r.InterfererDelivered < r.Sent*9/10 {
+		t.Fatalf("interferer delivered only %d", r.InterfererDelivered)
+	}
+}
+
+func TestExtTokenTradeoffs(t *testing.T) {
+	tab := ExtTokenVsMACAW(Quick())
+	tokenHealthy := tab.Columns[0]
+	macawHealthy := tab.Columns[1]
+	tokenDead := tab.Columns[2]
+	// Collision-free round-robin: exactly fair and above MACAW's total in
+	// a fully-connected healthy cell.
+	var rates []float64
+	for _, s := range tab.Streams {
+		rates = append(rates, tokenHealthy.Results.PPS(s))
+	}
+	if stats.Jain(rates) < 0.9999 {
+		t.Fatalf("token fairness = %v", stats.Jain(rates))
+	}
+	if tab.MeasuredTotal(0) < tab.MeasuredTotal(1) {
+		t.Fatalf("healthy token %.1f below MACAW %.1f", tab.MeasuredTotal(0), tab.MeasuredTotal(1))
+	}
+	_ = macawHealthy
+	// The paper's worry: a dead member costs the token scheme recovery
+	// time on every rotation; MACAW barely notices.
+	tokenLoss := tab.MeasuredTotal(0) - tab.MeasuredTotal(2)
+	macawLoss := tab.MeasuredTotal(1) - tab.MeasuredTotal(3)
+	if tokenLoss < 5 {
+		t.Fatalf("token scheme lost only %.1f pps to the dead member", tokenLoss)
+	}
+	if macawLoss > tokenLoss/2 {
+		t.Fatalf("MACAW lost %.1f vs token's %.1f; the trade-off did not appear", macawLoss, tokenLoss)
+	}
+	_ = tokenDead
+}
+
+func TestExtLoadSweepSaturationShape(t *testing.T) {
+	tab := ExtLoadSweep(Quick())
+	for i, p := range []string{"MACA", "MACAW", "token"} {
+		res := tab.Columns[i].Results
+		// Linear region: carried == offered below saturation.
+		if got := res.PPS("offered=4x4"); got < 15 || got > 17 {
+			t.Fatalf("%s carried %.1f at offered 16", p, got)
+		}
+		if got := res.PPS("offered=8x4"); got < 30 || got > 33 {
+			t.Fatalf("%s carried %.1f at offered 32", p, got)
+		}
+		// Saturation: carried stops tracking offered by 64 pps.
+		if got := res.PPS("offered=16x4"); got > 60 {
+			t.Fatalf("%s carried %.1f at offered 64 — no saturation", p, got)
+		}
+		// Delay explodes across saturation by orders of magnitude.
+		if res.PPS("delay@16x4") < 20*res.PPS("delay@4x4") {
+			t.Fatalf("%s delay did not explode at saturation: %.1f vs %.1f ms",
+				p, res.PPS("delay@16x4"), res.PPS("delay@4x4"))
+		}
+	}
+	// Protocol capacity ordering: token (collision-free) >= MACA (shorter
+	// exchange) >= MACAW (DS+ACK overhead).
+	tok := tab.Columns[2].Results.PPS("offered=16x4")
+	maca := tab.Columns[0].Results.PPS("offered=16x4")
+	macawC := tab.Columns[1].Results.PPS("offered=16x4")
+	if !(tok >= maca && maca >= macawC) {
+		t.Fatalf("capacity ordering violated: token %.1f, MACA %.1f, MACAW %.1f", tok, maca, macawC)
+	}
+}
+
+func TestExtensionsRegistry(t *testing.T) {
+	if len(Extensions()) != 5 {
+		t.Fatalf("Extensions() has %d entries", len(Extensions()))
+	}
+	for _, g := range Extensions() {
+		if g.Run == nil || g.ID == "" {
+			t.Fatalf("incomplete extension %+v", g)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+// Package geom provides the 3-D geometry primitives for the MACAW radio
+// model: positions in feet, distances, and the 1-cubic-foot cube grid that
+// the paper's simulator uses to approximate the media.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vec3 is a point or displacement in 3-D space. Units are feet throughout
+// the repository, matching the paper ("the cubes are 1 cubic foot in size",
+// "all pads are 6 feet below the base station height").
+type Vec3 struct {
+	X, Y, Z float64
+}
+
+// V is shorthand for constructing a Vec3.
+func V(x, y, z float64) Vec3 { return Vec3{x, y, z} }
+
+// Add returns v + w.
+func (v Vec3) Add(w Vec3) Vec3 { return Vec3{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Sub returns v - w.
+func (v Vec3) Sub(w Vec3) Vec3 { return Vec3{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
+
+// Scale returns v scaled by k.
+func (v Vec3) Scale(k float64) Vec3 { return Vec3{v.X * k, v.Y * k, v.Z * k} }
+
+// Norm returns the Euclidean length of v.
+func (v Vec3) Norm() float64 { return math.Sqrt(v.X*v.X + v.Y*v.Y + v.Z*v.Z) }
+
+// Dist returns the Euclidean distance between v and w.
+func (v Vec3) Dist(w Vec3) float64 { return v.Sub(w).Norm() }
+
+// String formats the vector with one decimal of precision (feet).
+func (v Vec3) String() string { return fmt.Sprintf("(%.1f, %.1f, %.1f)", v.X, v.Y, v.Z) }
+
+// Cube identifies one cell of the unit cube grid.
+type Cube struct {
+	I, J, K int
+}
+
+// CubeOf returns the grid cube containing p. Cube (i,j,k) spans
+// [i, i+1) x [j, j+1) x [k, k+1).
+func CubeOf(p Vec3) Cube {
+	return Cube{int(math.Floor(p.X)), int(math.Floor(p.Y)), int(math.Floor(p.Z))}
+}
+
+// Center returns the center point of the cube. The paper's simulator
+// computes signal strength "at each cube according to the distance from the
+// signal source to the center of the cube".
+func (c Cube) Center() Vec3 {
+	return Vec3{float64(c.I) + 0.5, float64(c.J) + 0.5, float64(c.K) + 0.5}
+}
+
+// Quantize maps p to the center of its containing unit cube.
+func Quantize(p Vec3) Vec3 { return CubeOf(p).Center() }
+
+// MaxQuantizationError is the largest possible displacement introduced by
+// Quantize: half the cube diagonal.
+const MaxQuantizationError = 0.8660254037844387 // sqrt(3)/2

@@ -1,0 +1,109 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestVectorArithmetic(t *testing.T) {
+	a, b := V(1, 2, 3), V(4, 6, 8)
+	if got := a.Add(b); got != V(5, 8, 11) {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := b.Sub(a); got != V(3, 4, 5) {
+		t.Fatalf("Sub = %v", got)
+	}
+	if got := a.Scale(2); got != V(2, 4, 6) {
+		t.Fatalf("Scale = %v", got)
+	}
+}
+
+func TestNormAndDist(t *testing.T) {
+	if got := V(3, 4, 0).Norm(); !almostEqual(got, 5) {
+		t.Fatalf("Norm = %v, want 5", got)
+	}
+	if got := V(0, 0, 0).Dist(V(1, 2, 2)); !almostEqual(got, 3) {
+		t.Fatalf("Dist = %v, want 3", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := V(1.25, -2, 3).String(); got != "(1.2, -2.0, 3.0)" && got != "(1.3, -2.0, 3.0)" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestCubeOf(t *testing.T) {
+	cases := []struct {
+		p    Vec3
+		want Cube
+	}{
+		{V(0, 0, 0), Cube{0, 0, 0}},
+		{V(0.999, 0.5, 0.001), Cube{0, 0, 0}},
+		{V(1, 1, 1), Cube{1, 1, 1}},
+		{V(-0.5, 2.5, -1.01), Cube{-1, 2, -2}},
+	}
+	for _, c := range cases {
+		if got := CubeOf(c.p); got != c.want {
+			t.Errorf("CubeOf(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestCubeCenter(t *testing.T) {
+	if got := (Cube{0, 0, 0}).Center(); got != V(0.5, 0.5, 0.5) {
+		t.Fatalf("Center = %v", got)
+	}
+	if got := (Cube{-1, 2, 3}).Center(); got != V(-0.5, 2.5, 3.5) {
+		t.Fatalf("Center = %v", got)
+	}
+}
+
+// Property: quantization never moves a point by more than half the cube
+// diagonal, and quantization is idempotent.
+func TestQuickQuantizeError(t *testing.T) {
+	f := func(x, y, z float64) bool {
+		// Constrain to a sane building-scale range to avoid float
+		// pathologies at astronomic magnitudes.
+		x = math.Mod(x, 1000)
+		y = math.Mod(y, 1000)
+		z = math.Mod(z, 1000)
+		if math.IsNaN(x) || math.IsNaN(y) || math.IsNaN(z) {
+			return true
+		}
+		p := V(x, y, z)
+		q := Quantize(p)
+		if p.Dist(q) > MaxQuantizationError+1e-9 {
+			return false
+		}
+		return Quantize(q) == q
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: distance is symmetric and satisfies the triangle inequality.
+func TestQuickMetricProperties(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz, cx, cy, cz float64) bool {
+		clamp := func(v float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0
+			}
+			return math.Mod(v, 1e6)
+		}
+		a := V(clamp(ax), clamp(ay), clamp(az))
+		b := V(clamp(bx), clamp(by), clamp(bz))
+		c := V(clamp(cx), clamp(cy), clamp(cz))
+		if !almostEqual(a.Dist(b), b.Dist(a)) {
+			return false
+		}
+		return a.Dist(c) <= a.Dist(b)+b.Dist(c)+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,204 @@
+// Package csma implements the carrier-sense baseline that §2.2 of the paper
+// argues against: stations sense the channel at the transmitter and send
+// data directly, with no RTS-CTS exchange. It exists to demonstrate the
+// hidden- and exposed-terminal pathologies that motivate MACA/MACAW.
+//
+// The variant implemented is non-persistent CSMA with an optional link-level
+// ACK (without an ACK the sender has no way to observe hidden-terminal
+// collisions at all). Binary exponential backoff spaces retransmissions.
+package csma
+
+import (
+	"fmt"
+
+	"macaw/internal/backoff"
+	"macaw/internal/frame"
+	"macaw/internal/mac"
+	"macaw/internal/sim"
+)
+
+// State is a CSMA sender state.
+type State int
+
+// CSMA states.
+const (
+	Idle State = iota
+	Backoff
+	Sending
+	WFACK
+)
+
+var stateNames = [...]string{"IDLE", "BACKOFF", "SENDING", "WFACK"}
+
+// String names the state.
+func (s State) String() string {
+	if int(s) < len(stateNames) {
+		return stateNames[s]
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// Options configures a CSMA instance.
+type Options struct {
+	// ACK enables the link-level acknowledgement; without it the sender
+	// fires and forgets.
+	ACK bool
+	// Policy is the backoff policy (default single-counter BEB).
+	Policy backoff.Policy
+}
+
+// CSMA is one station's protocol instance.
+type CSMA struct {
+	env *mac.Env
+	opt Options
+	pol backoff.Policy
+
+	st      State
+	q       mac.Queue
+	retries int
+	timer   *sim.Event
+	seq     uint32
+	stats   mac.Stats
+}
+
+// New returns a CSMA instance bound to env's radio.
+func New(env *mac.Env, opt Options) *CSMA {
+	c := &CSMA{env: env, opt: opt, pol: opt.Policy}
+	if c.pol == nil {
+		c.pol = backoff.NewSingle(backoff.NewBEB(), false)
+	}
+	env.Radio.SetHandler(c)
+	return c
+}
+
+// State returns the current sender state.
+func (c *CSMA) State() State { return c.st }
+
+// Stats implements mac.MAC.
+func (c *CSMA) Stats() mac.Stats { return c.stats }
+
+// QueueLen implements mac.MAC.
+func (c *CSMA) QueueLen() int { return c.q.Len() }
+
+// Enqueue implements mac.MAC.
+func (c *CSMA) Enqueue(p *mac.Packet) {
+	c.seq++
+	p.SetSeq(c.seq)
+	p.Enqueued = c.env.Sim.Now()
+	c.q.Push(p)
+	if c.st == Idle {
+		c.schedule()
+	}
+}
+
+func (c *CSMA) setTimer(d sim.Duration, fn func()) {
+	c.timer.Cancel()
+	c.timer = c.env.Sim.After(d, fn)
+}
+
+// schedule arms the next sense attempt 1..BO slots from now (non-persistent
+// CSMA defers a random interval rather than waiting for the carrier edge).
+func (c *CSMA) schedule() {
+	head := c.q.Peek()
+	if head == nil {
+		c.st = Idle
+		return
+	}
+	c.st = Backoff
+	k := 1 + c.env.Rand.Intn(c.pol.Backoff(head.Dst))
+	c.setTimer(sim.Duration(k)*c.env.Cfg.Slot(), c.attempt)
+}
+
+// attempt senses the carrier and transmits if the channel appears clear —
+// the transmitter-side test whose inadequacy §2.2 demonstrates.
+func (c *CSMA) attempt() {
+	c.timer = nil
+	head := c.q.Peek()
+	if head == nil {
+		c.st = Idle
+		return
+	}
+	if c.env.Radio.CarrierBusy() {
+		c.schedule()
+		return
+	}
+	data := &frame.Frame{Type: frame.DATA, Src: c.env.ID(), Dst: head.Dst, DataBytes: uint16(head.Size), Seq: head.Seq(), Payload: head.Payload}
+	c.pol.StampSend(data)
+	air := c.env.Radio.Transmit(data)
+	c.st = Sending
+	c.setTimer(air, func() {
+		c.timer = nil
+		if !c.opt.ACK {
+			c.finish(head)
+			return
+		}
+		c.st = WFACK
+		c.setTimer(c.env.Cfg.Turnaround+c.env.Cfg.CtrlTime()+c.env.Cfg.Margin, c.onACKTimeout)
+	})
+}
+
+func (c *CSMA) finish(head *mac.Packet) {
+	c.q.Pop()
+	c.retries = 0
+	c.stats.DataSent++
+	c.env.Callbacks.NotifySent(head)
+	c.schedule()
+}
+
+func (c *CSMA) onACKTimeout() {
+	if c.st != WFACK {
+		return
+	}
+	c.timer = nil
+	c.pol.OnFailure(0)
+	c.retries++
+	c.stats.Retries++
+	if head := c.q.Peek(); head != nil && c.retries > c.env.Cfg.MaxRetries {
+		c.q.Pop()
+		c.retries = 0
+		c.stats.Drops++
+		c.pol.OnGiveUp(head.Dst)
+		c.env.Callbacks.NotifyDropped(head, mac.DropRetries)
+	}
+	c.schedule()
+}
+
+// RadioCarrier implements phy.Handler; the non-persistent variant polls the
+// carrier at attempt time instead of reacting to edges.
+func (c *CSMA) RadioCarrier(bool) {}
+
+// RadioReceive implements phy.Handler.
+func (c *CSMA) RadioReceive(f *frame.Frame) {
+	if f.Dst != c.env.ID() {
+		return
+	}
+	switch f.Type {
+	case frame.DATA:
+		c.stats.DataReceived++
+		c.env.Callbacks.NotifyDeliver(f.Src, f.Payload)
+		if c.opt.ACK && !c.env.Radio.Transmitting() {
+			ack := &frame.Frame{Type: frame.ACK, Src: c.env.ID(), Dst: f.Src, Seq: f.Seq}
+			c.pol.StampSend(ack)
+			// The ACK may itself collide; CSMA has no protection.
+			air := c.env.Radio.Transmit(ack)
+			c.stats.ACKSent++
+			c.st = Sending
+			c.setTimer(air, func() {
+				c.timer = nil
+				c.schedule()
+			})
+		}
+	case frame.ACK:
+		if c.st != WFACK {
+			return
+		}
+		head := c.q.Peek()
+		if head == nil || head.Seq() != f.Seq {
+			return
+		}
+		c.timer.Cancel()
+		c.timer = nil
+		c.pol.OnSuccess(f.Src)
+		c.finish(head)
+	}
+}

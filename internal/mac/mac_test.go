@@ -1,0 +1,97 @@
+package mac
+
+import (
+	"testing"
+
+	"macaw/internal/frame"
+	"macaw/internal/sim"
+)
+
+func TestConfigTimes(t *testing.T) {
+	c := DefaultConfig()
+	if c.Slot() != 937500*sim.Nanosecond {
+		t.Fatalf("slot = %v, want 937.5us", c.Slot())
+	}
+	if c.CtrlTime() != c.Slot() {
+		t.Fatal("ctrl time != slot")
+	}
+	if c.DataTime(512) != 16*sim.Millisecond {
+		t.Fatalf("data time = %v, want 16ms", c.DataTime(512))
+	}
+	if c.MaxRetries <= 0 {
+		t.Fatal("MaxRetries must be positive")
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	var q Queue
+	if q.Peek() != nil || q.Pop() != nil || q.Len() != 0 {
+		t.Fatal("empty queue misbehaves")
+	}
+	a, b := &Packet{Dst: 1}, &Packet{Dst: 2}
+	q.Push(a)
+	q.Push(b)
+	if q.Len() != 2 || q.Peek() != a {
+		t.Fatal("push/peek broken")
+	}
+	if q.Pop() != a || q.Pop() != b || q.Pop() != nil {
+		t.Fatal("pop order broken")
+	}
+}
+
+func TestStreamQueues(t *testing.T) {
+	s := NewStreamQueues()
+	s.Push(&Packet{Dst: 5})
+	s.Push(&Packet{Dst: 3})
+	s.Push(&Packet{Dst: 5})
+	if s.TotalLen() != 3 {
+		t.Fatalf("TotalLen = %d", s.TotalLen())
+	}
+	if got := s.Destinations(); len(got) != 2 || got[0] != 5 || got[1] != 3 {
+		t.Fatalf("Destinations = %v (want first-seen order)", got)
+	}
+	if s.Queue(5).Len() != 2 || s.Queue(3).Len() != 1 {
+		t.Fatal("per-stream lengths wrong")
+	}
+	if s.Queue(9) != nil {
+		t.Fatal("unknown destination returned a queue")
+	}
+	s.Queue(3).Pop()
+	if got := s.NonEmpty(); len(got) != 1 || got[0] != 5 {
+		t.Fatalf("NonEmpty = %v", got)
+	}
+	// An emptied stream remains a known destination.
+	if got := s.Destinations(); len(got) != 2 {
+		t.Fatalf("Destinations after drain = %v", got)
+	}
+}
+
+func TestPacketSeq(t *testing.T) {
+	p := &Packet{Dst: 1}
+	p.SetSeq(42)
+	if p.Seq() != 42 {
+		t.Fatal("seq round-trip failed")
+	}
+}
+
+func TestCallbacksNilSafe(t *testing.T) {
+	var c Callbacks
+	c.NotifyDeliver(1, nil)
+	c.NotifySent(nil)
+	c.NotifyDropped(nil, DropRetries)
+
+	var delivered frame.NodeID
+	var sentP, droppedP *Packet
+	c = Callbacks{
+		Deliver: func(src frame.NodeID, _ []byte) { delivered = src },
+		Sent:    func(p *Packet) { sentP = p },
+		Dropped: func(p *Packet, _ DropReason) { droppedP = p },
+	}
+	pkt := &Packet{Dst: 2}
+	c.NotifyDeliver(7, nil)
+	c.NotifySent(pkt)
+	c.NotifyDropped(pkt, DropRetries)
+	if delivered != 7 || sentP != pkt || droppedP != pkt {
+		t.Fatal("callbacks not invoked")
+	}
+}

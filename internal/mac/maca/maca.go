@@ -1,0 +1,296 @@
+// Package maca implements the original MACA media access protocol exactly
+// as specified in Appendix A of the paper: an RTS-CTS-DATA exchange driven
+// by a five-state machine (IDLE, CONTEND, WFCTS, WFData, QUIET), a single
+// FIFO queue, a single backoff counter, and binary exponential backoff.
+package maca
+
+import (
+	"fmt"
+
+	"macaw/internal/backoff"
+	"macaw/internal/frame"
+	"macaw/internal/mac"
+	"macaw/internal/sim"
+)
+
+// State is a MACA protocol state (Appendix A: "A pad running MACA can be in
+// one of five states").
+type State int
+
+// The five MACA states plus the transient data-transmission phase.
+const (
+	Idle State = iota
+	Contend
+	WFCTS
+	WFData
+	Quiet
+	// SendData covers the interval during which the station radiates its
+	// DATA packet; Appendix A folds this into the IDLE transition, but a
+	// distinct state keeps the engine from contending mid-transmission.
+	SendData
+)
+
+var stateNames = [...]string{"IDLE", "CONTEND", "WFCTS", "WFDATA", "QUIET", "SENDDATA"}
+
+// String returns the Appendix A state name.
+func (s State) String() string {
+	if int(s) < len(stateNames) {
+		return stateNames[s]
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// Option configures a MACA instance.
+type Option func(*MACA)
+
+// WithPolicy overrides the backoff policy (default: single-counter BEB
+// without copying, the paper's original MACA).
+func WithPolicy(p backoff.Policy) Option { return func(m *MACA) { m.pol = p } }
+
+// MACA is one station's protocol instance.
+type MACA struct {
+	env *mac.Env
+	pol backoff.Policy
+
+	st         State
+	q          mac.Queue
+	retries    int
+	timer      *sim.Event
+	deferUntil sim.Time
+	curDst     frame.NodeID // destination of the exchange in flight
+	expectFrom frame.NodeID // sender we issued a CTS to (WFData)
+	seq        uint32
+	stats      mac.Stats
+}
+
+// New returns a MACA instance bound to env's radio. It installs itself as
+// the radio's handler.
+func New(env *mac.Env, opts ...Option) *MACA {
+	m := &MACA{env: env, pol: backoff.NewSingle(backoff.NewBEB(), false)}
+	for _, o := range opts {
+		o(m)
+	}
+	env.Radio.SetHandler(m)
+	return m
+}
+
+// State returns the current protocol state, for tests and traces.
+func (m *MACA) State() State { return m.st }
+
+// Stats implements mac.MAC.
+func (m *MACA) Stats() mac.Stats { return m.stats }
+
+// QueueLen implements mac.MAC.
+func (m *MACA) QueueLen() int { return m.q.Len() }
+
+// Enqueue implements mac.MAC: Control rule 1 — "When A is in IDLE state and
+// wants to transmit a data packet to B, it sets a random timer and goes to
+// the CONTEND state."
+func (m *MACA) Enqueue(p *mac.Packet) {
+	m.seq++
+	p.SetSeq(m.seq)
+	p.Enqueued = m.env.Sim.Now()
+	m.q.Push(p)
+	if m.st == Idle {
+		m.enterContend()
+	}
+}
+
+func (m *MACA) setTimer(d sim.Duration, fn func()) {
+	m.timer.Cancel()
+	m.timer = m.env.Sim.After(d, fn)
+}
+
+func (m *MACA) clearTimer() {
+	m.timer.Cancel()
+	m.timer = nil
+}
+
+// enterContend schedules the next RTS attempt "an integer number of slot
+// times after the end of the last defer period", the integer drawn uniformly
+// from 1..BO.
+func (m *MACA) enterContend() {
+	head := m.q.Peek()
+	if head == nil {
+		m.st = Idle
+		return
+	}
+	m.st = Contend
+	base := m.env.Sim.Now()
+	if m.deferUntil > base {
+		base = m.deferUntil
+	}
+	bo := m.pol.Backoff(head.Dst)
+	k := 1 + m.env.Rand.Intn(bo)
+	at := base + sim.Duration(k)*m.env.Cfg.Slot()
+	m.timer.Cancel()
+	m.timer = m.env.Sim.At(at, m.onContendTimeout)
+}
+
+// onContendTimeout is Timeout rule 1: transmit the RTS and wait for the CTS.
+func (m *MACA) onContendTimeout() {
+	head := m.q.Peek()
+	if m.st != Contend || head == nil {
+		return
+	}
+	if m.deferUntil > m.env.Sim.Now() {
+		// A defer period started since the timer was set; contend
+		// again after it ends.
+		m.enterContend()
+		return
+	}
+	f := &frame.Frame{Type: frame.RTS, Src: m.env.ID(), Dst: head.Dst, DataBytes: uint16(head.Size), Seq: head.Seq()}
+	m.pol.StampSend(f)
+	air := m.env.Radio.Transmit(f)
+	m.stats.RTSSent++
+	m.curDst = head.Dst
+	m.st = WFCTS
+	m.setTimer(air+m.env.Cfg.CTSWait(), m.onCTSTimeout)
+}
+
+// onCTSTimeout handles a lost RTS-CTS exchange: back off and retry, or give
+// up past the retry limit.
+func (m *MACA) onCTSTimeout() {
+	if m.st != WFCTS {
+		return
+	}
+	m.timer = nil
+	m.failAttempt()
+}
+
+func (m *MACA) failAttempt() {
+	head := m.q.Peek()
+	m.pol.OnFailure(m.curDst)
+	m.retries++
+	m.stats.Retries++
+	if head != nil && m.retries > m.env.Cfg.MaxRetries {
+		m.q.Pop()
+		m.retries = 0
+		m.stats.Drops++
+		m.pol.OnGiveUp(head.Dst)
+		m.env.Callbacks.NotifyDropped(head, mac.DropRetries)
+	}
+	m.next()
+}
+
+// next returns to IDLE or starts contending for the next queued packet.
+func (m *MACA) next() {
+	if m.q.Len() > 0 {
+		m.enterContend()
+	} else {
+		m.st = Idle
+	}
+}
+
+// enterQuiet is the Defer rules' QUIET transition. From WFCTS and WFData the
+// pending exchange keeps its timer (the defer horizon still advances), since
+// abandoning a half-completed exchange would deadlock both parties; Appendix
+// A's precedence note is interpreted as applying to contention states.
+func (m *MACA) enterQuiet(d sim.Duration) {
+	until := m.env.Sim.Now() + d
+	if until > m.deferUntil {
+		m.deferUntil = until
+	}
+	switch m.st {
+	case Idle, Contend:
+		m.st = Quiet
+		m.setTimer(m.deferUntil-m.env.Sim.Now(), m.onQuietEnd)
+	case Quiet:
+		m.setTimer(m.deferUntil-m.env.Sim.Now(), m.onQuietEnd)
+	case WFCTS, WFData, SendData:
+		// Keep the exchange; deferUntil constrains future contention.
+	}
+}
+
+func (m *MACA) onQuietEnd() {
+	if m.st != Quiet {
+		return
+	}
+	m.timer = nil
+	if m.deferUntil > m.env.Sim.Now() {
+		m.setTimer(m.deferUntil-m.env.Sim.Now(), m.onQuietEnd)
+		return
+	}
+	m.next()
+}
+
+// RadioCarrier implements phy.Handler; MACA does not sense carrier.
+func (m *MACA) RadioCarrier(bool) {}
+
+// RadioReceive implements phy.Handler.
+func (m *MACA) RadioReceive(f *frame.Frame) {
+	if f.Dst == m.env.ID() {
+		m.receiveForMe(f)
+		return
+	}
+	m.pol.OnOverhear(f)
+	switch f.Type {
+	case frame.RTS:
+		// Defer rule 1: long enough for the sender to hear the CTS.
+		// Defer spans carry no margin so that all stations' contention
+		// grids stay anchored to the exact frame boundaries.
+		m.enterQuiet(m.env.Cfg.Turnaround + m.env.Cfg.CtrlTime())
+	case frame.CTS:
+		// Defer rule 2: long enough for the data transmission.
+		m.enterQuiet(m.env.Cfg.Turnaround + m.env.Cfg.DataTime(int(f.DataBytes)))
+	}
+}
+
+func (m *MACA) receiveForMe(f *frame.Frame) {
+	m.pol.OnReceive(f)
+	switch f.Type {
+	case frame.RTS:
+		// Control rules 2 and 5: reply with a CTS from IDLE or
+		// CONTEND — but only "if it is not currently deferring",
+		// whatever state the FSM occupies.
+		if (m.st != Idle && m.st != Contend) || m.deferUntil > m.env.Sim.Now() {
+			return
+		}
+		m.clearTimer()
+		cts := &frame.Frame{Type: frame.CTS, Src: m.env.ID(), Dst: f.Src, DataBytes: f.DataBytes, Seq: f.Seq}
+		m.pol.StampSend(cts)
+		air := m.env.Radio.Transmit(cts)
+		m.stats.CTSSent++
+		m.expectFrom = f.Src
+		m.st = WFData
+		m.setTimer(air+m.env.Cfg.Turnaround+m.env.Cfg.DataTime(int(f.DataBytes))+m.env.Cfg.Margin, m.onTimeoutToIdle)
+	case frame.CTS:
+		// Control rule 3: send the data.
+		if m.st != WFCTS || f.Src != m.curDst {
+			return
+		}
+		m.clearTimer()
+		m.pol.OnSuccess(m.curDst)
+		m.retries = 0
+		head := m.q.Pop()
+		data := &frame.Frame{Type: frame.DATA, Src: m.env.ID(), Dst: head.Dst, DataBytes: uint16(head.Size), Seq: head.Seq(), Payload: head.Payload}
+		m.pol.StampSend(data)
+		air := m.env.Radio.Transmit(data)
+		m.st = SendData
+		m.setTimer(air, func() {
+			m.timer = nil
+			m.stats.DataSent++
+			m.env.Callbacks.NotifySent(head)
+			m.next()
+		})
+	case frame.DATA:
+		// Control rule 4.
+		if m.st == WFData && f.Src == m.expectFrom {
+			m.clearTimer()
+			m.stats.DataReceived++
+			m.env.Callbacks.NotifyDeliver(f.Src, f.Payload)
+			m.next()
+			return
+		}
+		// A data packet that arrives outside WFData is still data.
+		m.stats.DataReceived++
+		m.env.Callbacks.NotifyDeliver(f.Src, f.Payload)
+	}
+}
+
+// onTimeoutToIdle is Timeout rule 2: "From any other state, when a timer
+// expires, a station goes to the IDLE state."
+func (m *MACA) onTimeoutToIdle() {
+	m.timer = nil
+	m.next()
+}

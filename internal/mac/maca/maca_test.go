@@ -1,0 +1,291 @@
+package maca
+
+import (
+	"testing"
+
+	"macaw/internal/backoff"
+	"macaw/internal/frame"
+	"macaw/internal/geom"
+	"macaw/internal/mac"
+	"macaw/internal/phy"
+	"macaw/internal/sim"
+)
+
+// station bundles one MACA instance with its delivery log.
+type station struct {
+	m         *MACA
+	delivered []frame.NodeID // sources of received data packets
+	sent      int
+	dropped   int
+}
+
+type world struct {
+	s      *sim.Simulator
+	medium *phy.Medium
+	nodes  map[frame.NodeID]*station
+}
+
+func newWorld(seed int64) *world {
+	s := sim.New(seed)
+	return &world{s: s, medium: phy.New(s, phy.DefaultParams()), nodes: make(map[frame.NodeID]*station)}
+}
+
+func (w *world) addStation(id frame.NodeID, pos geom.Vec3, opts ...Option) *station {
+	st := &station{}
+	radio := w.medium.Attach(id, pos, nil)
+	env := &mac.Env{
+		Sim: w.s, Radio: radio, Rand: w.s.NewRand(), Cfg: mac.DefaultConfig(),
+		Callbacks: mac.Callbacks{
+			Deliver: func(src frame.NodeID, _ []byte) { st.delivered = append(st.delivered, src) },
+			Sent:    func(*mac.Packet) { st.sent++ },
+			Dropped: func(*mac.Packet, mac.DropReason) { st.dropped++ },
+		},
+	}
+	st.m = New(env, opts...)
+	w.nodes[id] = st
+	return st
+}
+
+func pkt(dst frame.NodeID) *mac.Packet {
+	return &mac.Packet{Dst: dst, Size: frame.DefaultDataBytes, Payload: []byte("x")}
+}
+
+func TestStateStrings(t *testing.T) {
+	names := map[State]string{Idle: "IDLE", Contend: "CONTEND", WFCTS: "WFCTS", WFData: "WFDATA", Quiet: "QUIET", SendData: "SENDDATA"}
+	for s, n := range names {
+		if s.String() != n {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), n)
+		}
+	}
+	if State(99).String() != "State(99)" {
+		t.Error("unknown state string wrong")
+	}
+}
+
+func TestSingleExchangeDeliversData(t *testing.T) {
+	w := newWorld(1)
+	a := w.addStation(1, geom.V(0, 0, 6))
+	b := w.addStation(2, geom.V(6, 0, 6))
+	a.m.Enqueue(pkt(2))
+	w.s.Run(1 * sim.Second)
+	if len(b.delivered) != 1 || b.delivered[0] != 1 {
+		t.Fatalf("b delivered %v, want [1]", b.delivered)
+	}
+	if a.sent != 1 {
+		t.Fatalf("a.sent = %d, want 1", a.sent)
+	}
+	sa, sb := a.m.Stats(), b.m.Stats()
+	if sa.RTSSent != 1 || sb.CTSSent != 1 || sa.DataSent != 1 || sb.DataReceived != 1 {
+		t.Fatalf("stats a=%+v b=%+v", sa, sb)
+	}
+	if a.m.State() != Idle || b.m.State() != Idle {
+		t.Fatalf("states after exchange: %v, %v", a.m.State(), b.m.State())
+	}
+}
+
+func TestQueueDrainsInOrder(t *testing.T) {
+	w := newWorld(2)
+	a := w.addStation(1, geom.V(0, 0, 6))
+	b := w.addStation(2, geom.V(6, 0, 6))
+	for i := 0; i < 5; i++ {
+		a.m.Enqueue(pkt(2))
+	}
+	if a.m.QueueLen() != 5 {
+		t.Fatalf("QueueLen = %d", a.m.QueueLen())
+	}
+	w.s.Run(5 * sim.Second)
+	if len(b.delivered) != 5 {
+		t.Fatalf("delivered %d, want 5", len(b.delivered))
+	}
+	if a.m.QueueLen() != 0 {
+		t.Fatalf("queue not drained: %d", a.m.QueueLen())
+	}
+}
+
+func TestUnreachableDestinationDropsAfterRetries(t *testing.T) {
+	w := newWorld(3)
+	a := w.addStation(1, geom.V(0, 0, 6))
+	// Destination 9 does not exist.
+	a.m.Enqueue(&mac.Packet{Dst: 9, Size: 512})
+	w.s.Run(30 * sim.Second)
+	if a.dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", a.dropped)
+	}
+	st := a.m.Stats()
+	if st.Drops != 1 {
+		t.Fatalf("stats.Drops = %d", st.Drops)
+	}
+	if st.RTSSent != mac.DefaultConfig().MaxRetries+1 {
+		t.Fatalf("RTSSent = %d, want %d", st.RTSSent, mac.DefaultConfig().MaxRetries+1)
+	}
+	if a.m.State() != Idle {
+		t.Fatalf("state = %v, want IDLE", a.m.State())
+	}
+}
+
+func TestBackoffGrowsOnFailures(t *testing.T) {
+	pol := backoff.NewSingle(backoff.NewBEB(), false)
+	w := newWorld(4)
+	a := w.addStation(1, geom.V(0, 0, 6), WithPolicy(pol))
+	a.m.Enqueue(&mac.Packet{Dst: 9, Size: 512})
+	w.s.Run(2 * sim.Second)
+	if pol.Value() <= 2 {
+		t.Fatalf("backoff did not grow: %d", pol.Value())
+	}
+}
+
+func TestReceiverRepliesFromContend(t *testing.T) {
+	// Control rule 5: A in CONTEND receiving an RTS answers with a CTS
+	// (yields to the incoming transfer).
+	w := newWorld(5)
+	a := w.addStation(1, geom.V(0, 0, 6))
+	b := w.addStation(2, geom.V(6, 0, 6))
+	// Both want to talk to each other simultaneously.
+	a.m.Enqueue(pkt(2))
+	b.m.Enqueue(pkt(1))
+	w.s.Run(5 * sim.Second)
+	if len(a.delivered) != 1 || len(b.delivered) != 1 {
+		t.Fatalf("deliveries a=%v b=%v; the two transfers should both complete", a.delivered, b.delivered)
+	}
+}
+
+func TestDeferringStationDoesNotAnswerRTS(t *testing.T) {
+	// C overhears B's CTS (deferring for A's data); an RTS addressed to C
+	// during that period must not elicit a CTS.
+	w := newWorld(6)
+	a := w.addStation(1, geom.V(0, 0, 6))
+	w.addStation(2, geom.V(6, 0, 6))
+	c := w.addStation(3, geom.V(9, 3, 6)) // hears both A and B
+	a.m.Enqueue(pkt(2))
+	// Get A->B going; once C is in QUIET, inject an RTS to C from a
+	// fourth, distant station via direct radio access.
+	d := w.medium.Attach(4, geom.V(14, 5, 6), nil)
+	w.s.After(3*sim.Millisecond, func() {
+		if c.m.State() != Quiet {
+			t.Errorf("C state = %v at 3ms, want QUIET", c.m.State())
+		}
+		d.Transmit(&frame.Frame{Type: frame.RTS, Src: 4, Dst: 3, DataBytes: 512})
+	})
+	w.s.Run(60 * sim.Millisecond)
+	if got := c.m.Stats().CTSSent; got != 0 {
+		t.Fatalf("deferring station sent %d CTS, want 0", got)
+	}
+}
+
+func TestOverhearRTSDefersThroughCTS(t *testing.T) {
+	// A station that hears an RTS must be QUIET for the CTS slot.
+	w := newWorld(7)
+	a := w.addStation(1, geom.V(0, 0, 6))
+	w.addStation(2, geom.V(6, 0, 6))
+	c := w.addStation(3, geom.V(3, 3, 6))
+	a.m.Enqueue(pkt(2))
+	// Find when the RTS lands: state of C should become QUIET shortly
+	// after the first RTS completes and before the CTS completes.
+	seen := false
+	var probe func()
+	probe = func() {
+		if c.m.State() == Quiet {
+			seen = true
+			return
+		}
+		if w.s.Now() < 100*sim.Millisecond {
+			w.s.After(100*sim.Microsecond, probe)
+		}
+	}
+	w.s.After(0, probe)
+	w.s.Run(100 * sim.Millisecond)
+	if !seen {
+		t.Fatal("overhearing station never entered QUIET")
+	}
+}
+
+func TestHiddenTerminalBothStreamsProgress(t *testing.T) {
+	// Figure 1: A and C both in range of B, out of range of each other.
+	// MACA's RTS/CTS lets both deliver data to B despite being hidden.
+	w := newWorld(8)
+	a := w.addStation(1, geom.V(0, 0, 6))
+	b := w.addStation(2, geom.V(8, 0, 6))
+	c := w.addStation(3, geom.V(16, 0, 6))
+	if w.medium.InRange(w.medium.Radios()[0], w.medium.Radios()[2]) {
+		t.Fatal("geometry broken: A and C in range")
+	}
+	for i := 0; i < 10; i++ {
+		a.m.Enqueue(pkt(2))
+		c.m.Enqueue(pkt(2))
+	}
+	w.s.Run(20 * sim.Second)
+	var fromA, fromC int
+	for _, src := range b.delivered {
+		switch src {
+		case 1:
+			fromA++
+		case 3:
+			fromC++
+		}
+	}
+	if fromA < 8 || fromC < 8 {
+		t.Fatalf("hidden terminal deliveries: fromA=%d fromC=%d, want >=8 each", fromA, fromC)
+	}
+}
+
+func TestExposedTerminalMayTransmit(t *testing.T) {
+	// Figure 1 exposed case: B sends to A; C hears B but not A. C's
+	// transfer to D (out of everyone's range but C's) should proceed
+	// concurrently under MACA.
+	w := newWorld(9)
+	a := w.addStation(1, geom.V(0, 0, 6))
+	b := w.addStation(2, geom.V(8, 0, 6))
+	c := w.addStation(3, geom.V(16, 0, 6))
+	d := w.addStation(4, geom.V(24, 0, 6))
+	_ = a
+	_ = d
+	for i := 0; i < 20; i++ {
+		b.m.Enqueue(pkt(1))
+		c.m.Enqueue(pkt(4))
+	}
+	w.s.Run(20 * sim.Second)
+	if len(w.nodes[1].delivered) < 15 {
+		t.Fatalf("B->A delivered only %d", len(w.nodes[1].delivered))
+	}
+	if len(w.nodes[4].delivered) < 15 {
+		t.Fatalf("C->D delivered only %d (exposed terminal starved)", len(w.nodes[4].delivered))
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() (int, int) {
+		w := newWorld(42)
+		a := w.addStation(1, geom.V(0, 0, 6))
+		b := w.addStation(2, geom.V(6, 0, 6))
+		c := w.addStation(3, geom.V(3, 3, 6))
+		for i := 0; i < 50; i++ {
+			a.m.Enqueue(pkt(2))
+			c.m.Enqueue(pkt(2))
+		}
+		w.s.Run(30 * sim.Second)
+		return len(b.delivered), a.m.Stats().Retries + c.m.Stats().Retries
+	}
+	d1, r1 := run()
+	d2, r2 := run()
+	if d1 != d2 || r1 != r2 {
+		t.Fatalf("nondeterministic: (%d,%d) vs (%d,%d)", d1, r1, d2, r2)
+	}
+}
+
+func TestTwoContendersShareChannel(t *testing.T) {
+	// Both pads saturate the channel toward the base; both must make
+	// progress (BEB unfairness needs sustained saturation, tested at the
+	// experiment level).
+	w := newWorld(10)
+	p1 := w.addStation(1, geom.V(-4, 0, 6))
+	p2 := w.addStation(2, geom.V(4, 0, 6))
+	base := w.addStation(3, geom.V(0, 0, 12))
+	for i := 0; i < 30; i++ {
+		p1.m.Enqueue(pkt(3))
+		p2.m.Enqueue(pkt(3))
+	}
+	w.s.Run(30 * sim.Second)
+	if len(base.delivered) < 55 {
+		t.Fatalf("only %d of 60 packets delivered", len(base.delivered))
+	}
+}

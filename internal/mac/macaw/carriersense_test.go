@@ -1,0 +1,87 @@
+package macaw
+
+import (
+	"testing"
+
+	"macaw/internal/backoff"
+	"macaw/internal/frame"
+	"macaw/internal/geom"
+	"macaw/internal/sim"
+)
+
+// csOptions is the §3.3.2 carrier-sense alternative: RTS-CTS-DATA-ACK plus
+// CSMA/CA-style deferral instead of the DS packet.
+func csOptions() Options {
+	return Options{Exchange: WithACK, PerStream: true, CarrierSense: true}
+}
+
+func TestCarrierSenseHoldsTransmissionDuringBusyAir(t *testing.T) {
+	w := newWorld(21)
+	a := w.add(1, geom.V(0, 0, 6), csOptions())
+	w.add(2, geom.V(6, 0, 6), csOptions())
+	// A third station floods the air with a long data frame; A must not
+	// transmit its RTS until one slot after the frame ends.
+	jam := w.medium.Attach(9, geom.V(3, 3, 6), nil)
+	jam.Transmit(&frame.Frame{Type: frame.DATA, Src: 9, Dst: 99, DataBytes: 512})
+	a.m.Enqueue(pkt(2))
+	w.s.Run(10 * sim.Millisecond) // mid-jam
+	if got := a.m.Stats().RTSSent; got != 0 {
+		t.Fatalf("transmitted %d RTS during carrier-busy air", got)
+	}
+	w.s.Run(1 * sim.Second)
+	if got := a.m.Stats().RTSSent; got == 0 {
+		t.Fatal("never transmitted after the carrier cleared")
+	}
+	if len(w.s.Now().String()) == 0 {
+		t.Fatal("clock broken")
+	}
+}
+
+func TestCarrierSenseStillDeliversSingleStream(t *testing.T) {
+	w := newWorld(22)
+	a := w.add(1, geom.V(0, 0, 6), csOptions())
+	b := w.add(2, geom.V(6, 0, 6), csOptions())
+	for i := 0; i < 20; i++ {
+		a.m.Enqueue(pkt(2))
+	}
+	w.s.Run(10 * sim.Second)
+	if len(b.delivered) != 20 {
+		t.Fatalf("delivered %d of 20 under carrier sense", len(b.delivered))
+	}
+	if a.sent != 20 {
+		t.Fatalf("sender completions = %d", a.sent)
+	}
+}
+
+func TestCarrierSenseRescuesExposedTerminals(t *testing.T) {
+	// The Figure 5 geometry: without DS or carrier sense the exposed
+	// pads trash each other; §3.3.2's carrier-sense alternative must
+	// recover most of the throughput, like the DS packet does.
+	run := func(opt Options) (int, int) {
+		w := newWorld(23)
+		withPolicy := func(o Options) Options {
+			o.Policy = backoff.NewSingle(backoff.NewMILD(), true)
+			return o
+		}
+		b1 := w.add(1, geom.V(0, 0, 12), withPolicy(opt))
+		p1 := w.add(2, geom.V(6, 0, 6), withPolicy(opt))
+		p2 := w.add(3, geom.V(12, 0, 6), withPolicy(opt))
+		b2 := w.add(4, geom.V(18, 0, 12), withPolicy(opt))
+		for i := 0; i < 2000; i++ {
+			p1.m.Enqueue(pkt(1))
+			p2.m.Enqueue(pkt(4))
+		}
+		w.s.Run(30 * sim.Second)
+		return len(b1.delivered), len(b2.delivered)
+	}
+	plainA, plainB := run(Options{Exchange: WithACK, PerStream: true})
+	csA, csB := run(csOptions())
+	plain, cs := plainA+plainB, csA+csB
+	if cs < plain*14/10 {
+		t.Fatalf("carrier sense total %d not clearly above plain %d", cs, plain)
+	}
+	// Both streams must flow under carrier sense.
+	if csA < 300 || csB < 300 {
+		t.Fatalf("carrier sense starved a stream: %d / %d", csA, csB)
+	}
+}

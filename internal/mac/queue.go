@@ -1,0 +1,92 @@
+package mac
+
+import "macaw/internal/frame"
+
+// Queue is a FIFO packet queue.
+type Queue struct {
+	items []*Packet
+}
+
+// Len returns the number of queued packets.
+func (q *Queue) Len() int { return len(q.items) }
+
+// Push appends p.
+func (q *Queue) Push(p *Packet) { q.items = append(q.items, p) }
+
+// PushFront reinstates p at the head of the queue (used when a tentatively
+// completed packet turns out to need retransmission).
+func (q *Queue) PushFront(p *Packet) {
+	q.items = append([]*Packet{p}, q.items...)
+}
+
+// Peek returns the head without removing it, or nil when empty.
+func (q *Queue) Peek() *Packet {
+	if len(q.items) == 0 {
+		return nil
+	}
+	return q.items[0]
+}
+
+// Pop removes and returns the head, or nil when empty.
+func (q *Queue) Pop() *Packet {
+	if len(q.items) == 0 {
+		return nil
+	}
+	p := q.items[0]
+	q.items[0] = nil
+	q.items = q.items[1:]
+	return p
+}
+
+// StreamQueues keys packets by destination, implementing §3.2's
+// one-queue-per-stream design: "a separate queue for each stream, and ...
+// each queue has its own backoff counter and retry counter". Destinations
+// are tracked in first-seen order so iteration is deterministic.
+type StreamQueues struct {
+	order []frame.NodeID
+	qs    map[frame.NodeID]*Queue
+}
+
+// NewStreamQueues returns an empty set of per-destination queues.
+func NewStreamQueues() *StreamQueues {
+	return &StreamQueues{qs: make(map[frame.NodeID]*Queue)}
+}
+
+// Push enqueues p on its destination's queue.
+func (s *StreamQueues) Push(p *Packet) {
+	q := s.qs[p.Dst]
+	if q == nil {
+		q = &Queue{}
+		s.qs[p.Dst] = q
+		s.order = append(s.order, p.Dst)
+	}
+	q.Push(p)
+}
+
+// Queue returns the queue for dst, or nil if none exists.
+func (s *StreamQueues) Queue(dst frame.NodeID) *Queue { return s.qs[dst] }
+
+// Destinations returns the known destinations in first-seen order,
+// including those whose queues are currently empty.
+func (s *StreamQueues) Destinations() []frame.NodeID { return s.order }
+
+// NonEmpty returns the destinations with at least one queued packet, in
+// first-seen order.
+func (s *StreamQueues) NonEmpty() []frame.NodeID {
+	var out []frame.NodeID
+	for _, d := range s.order {
+		if s.qs[d].Len() > 0 {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// TotalLen returns the total number of queued packets across streams.
+func (s *StreamQueues) TotalLen() int {
+	n := 0
+	for _, q := range s.qs {
+		n += q.Len()
+	}
+	return n
+}

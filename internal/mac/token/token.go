@@ -1,0 +1,260 @@
+// Package token implements the token-based single-cell access scheme the
+// paper defers to future work ("Various token-based schemes, or those
+// involving polling or reservations, are possibilities we hope to explore").
+//
+// A static ring of stations circulates a TOKEN control packet; the holder
+// transmits up to MaxPerToken queued data packets, then passes the token to
+// its successor. The scheme needs no RTS/CTS — token possession is the
+// collision-avoidance — but it pays exactly the costs §2.1 predicts for a
+// mobile environment: hand-off overhead on every rotation, and recovery
+// timeouts whenever a station holding (or about to receive) the token
+// disappears. Stations skip dead successors after a watch timeout, and the
+// lowest-numbered live station regenerates a token lost to silence.
+//
+// The implementation is deliberately single-cell (every ring member must
+// hear every other); the paper's other reason for rejecting tokens —
+// hand-off across cells — is out of scope.
+package token
+
+import (
+	"fmt"
+
+	"macaw/internal/frame"
+	"macaw/internal/mac"
+	"macaw/internal/sim"
+)
+
+// State is a token MAC state.
+type State int
+
+// Token states.
+const (
+	// NoToken: listening; the token is elsewhere.
+	NoToken State = iota
+	// Holding: this station owns the channel.
+	Holding
+	// Passing: token transmitted, watching for the successor to use it.
+	Passing
+)
+
+var stateNames = [...]string{"NOTOKEN", "HOLDING", "PASSING"}
+
+// String names the state.
+func (s State) String() string {
+	if int(s) < len(stateNames) {
+		return stateNames[s]
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// Options configures a token MAC instance.
+type Options struct {
+	// Ring lists every station of the cell in token order; it must be
+	// identical at every member. The first listed station generates the
+	// initial token.
+	Ring []frame.NodeID
+	// MaxPerToken bounds the data packets sent per token possession
+	// (default 1, round-robin fairness).
+	MaxPerToken int
+	// WatchSlots is how many slot times a passer waits to hear its
+	// successor use the token before skipping it. Receptions complete at
+	// frame end, so the window must cover the successor's largest first
+	// transmission — a full data frame (~17.1 slots for 512 bytes) plus
+	// slack (default 24).
+	WatchSlots int
+	// RecoverySlots is how many slots of total silence any station
+	// tolerates before the lowest live member regenerates the token
+	// (default 64).
+	RecoverySlots int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxPerToken <= 0 {
+		o.MaxPerToken = 1
+	}
+	if o.WatchSlots <= 0 {
+		o.WatchSlots = 24
+	}
+	if o.RecoverySlots <= 0 {
+		o.RecoverySlots = 64
+	}
+	return o
+}
+
+// Token is one station's protocol instance.
+type Token struct {
+	env *mac.Env
+	opt Options
+
+	st       State
+	q        mac.Queue
+	ringPos  int // own index in the ring
+	passTo   int // ring index the token was passed to (Passing state)
+	sentThis int // packets sent during the current possession
+	timer    *sim.Event
+	watchdog *sim.Event
+	seq      uint32
+	stats    mac.Stats
+	// Regenerations counts token-recovery events at this station.
+	Regenerations int
+	// Skips counts successors skipped after a watch timeout.
+	Skips int
+}
+
+// New returns a token MAC bound to env's radio. The env's station must be
+// listed in opt.Ring.
+func New(env *mac.Env, opt Options) *Token {
+	opt = opt.withDefaults()
+	t := &Token{env: env, opt: opt, ringPos: -1}
+	for i, id := range opt.Ring {
+		if id == env.ID() {
+			t.ringPos = i
+			break
+		}
+	}
+	if t.ringPos < 0 {
+		panic(fmt.Sprintf("token: station %v not in ring %v", env.ID(), opt.Ring))
+	}
+	env.Radio.SetHandler(t)
+	t.armWatchdog()
+	if t.ringPos == 0 {
+		// The first member bootstraps the token once the ring settles.
+		t.env.Sim.After(t.env.Cfg.Slot(), t.acquire)
+	}
+	return t
+}
+
+// State returns the current protocol state.
+func (t *Token) State() State { return t.st }
+
+// Stats implements mac.MAC.
+func (t *Token) Stats() mac.Stats { return t.stats }
+
+// QueueLen implements mac.MAC.
+func (t *Token) QueueLen() int { return t.q.Len() }
+
+// Enqueue implements mac.MAC.
+func (t *Token) Enqueue(p *mac.Packet) {
+	t.seq++
+	p.SetSeq(t.seq)
+	p.Enqueued = t.env.Sim.Now()
+	t.q.Push(p)
+}
+
+func (t *Token) setTimer(d sim.Duration, fn func()) {
+	t.timer.Cancel()
+	t.timer = t.env.Sim.After(d, fn)
+}
+
+// armWatchdog (re)starts the silence watchdog that triggers token recovery.
+func (t *Token) armWatchdog() {
+	t.watchdog.Cancel()
+	t.watchdog = t.env.Sim.After(sim.Duration(t.opt.RecoverySlots+t.ringPos)*t.env.Cfg.Slot(), t.onSilence)
+}
+
+// onSilence fires when nothing has been heard for the recovery window. The
+// per-station ringPos stagger makes the lowest live member win the
+// regeneration race.
+func (t *Token) onSilence() {
+	t.watchdog = nil
+	if t.st != NoToken {
+		t.armWatchdog()
+		return
+	}
+	t.Regenerations++
+	t.acquire()
+}
+
+// acquire takes possession of the token.
+func (t *Token) acquire() {
+	if t.env.Radio.Transmitting() {
+		return
+	}
+	t.st = Holding
+	t.sentThis = 0
+	t.serve()
+}
+
+// serve transmits queued data while the possession budget lasts, then
+// passes the token on.
+func (t *Token) serve() {
+	t.armWatchdog()
+	head := t.q.Peek()
+	if head == nil || t.sentThis >= t.opt.MaxPerToken {
+		t.pass(1)
+		return
+	}
+	t.q.Pop()
+	t.sentThis++
+	data := &frame.Frame{Type: frame.DATA, Src: t.env.ID(), Dst: head.Dst, DataBytes: uint16(head.Size), Seq: head.Seq(), Payload: head.Payload}
+	air := t.env.Radio.Transmit(data)
+	t.setTimer(air, func() {
+		t.timer = nil
+		t.stats.DataSent++
+		t.env.Callbacks.NotifySent(head)
+		t.serve()
+	})
+}
+
+// pass hands the token to the skip-th successor and watches for it to show
+// life.
+func (t *Token) pass(skip int) {
+	if skip >= len(t.opt.Ring) {
+		// Everyone else looks dead; keep the token and try again after
+		// a recovery pause.
+		t.st = Holding
+		t.setTimer(sim.Duration(t.opt.RecoverySlots)*t.env.Cfg.Slot(), func() {
+			t.timer = nil
+			t.sentThis = 0
+			t.serve()
+		})
+		return
+	}
+	t.passTo = (t.ringPos + skip) % len(t.opt.Ring)
+	succ := t.opt.Ring[t.passTo]
+	if succ == t.env.ID() {
+		// Ring of one: keep serving.
+		t.sentThis = 0
+		t.setTimer(t.env.Cfg.Slot(), func() { t.timer = nil; t.serve() })
+		return
+	}
+	tok := &frame.Frame{Type: frame.TOKEN, Src: t.env.ID(), Dst: succ}
+	air := t.env.Radio.Transmit(tok)
+	t.st = Passing
+	skipNext := skip + 1
+	t.setTimer(air+sim.Duration(t.opt.WatchSlots)*t.env.Cfg.Slot(), func() {
+		t.timer = nil
+		// The successor never showed life: skip it.
+		t.Skips++
+		t.pass(skipNext)
+	})
+}
+
+// RadioCarrier implements phy.Handler; token access needs no carrier sense.
+func (t *Token) RadioCarrier(bool) {}
+
+// RadioReceive implements phy.Handler.
+func (t *Token) RadioReceive(f *frame.Frame) {
+	t.armWatchdog()
+	if t.st == Passing {
+		// Any transmission from the successor proves the hand-off.
+		if f.Src == t.opt.Ring[t.passTo] {
+			t.timer.Cancel()
+			t.timer = nil
+			t.st = NoToken
+		}
+	}
+	switch f.Type {
+	case frame.TOKEN:
+		if f.Dst == t.env.ID() {
+			t.timer.Cancel()
+			t.timer = nil
+			t.acquire()
+		}
+	case frame.DATA:
+		if f.Dst == t.env.ID() || f.Dst == frame.Broadcast {
+			t.stats.DataReceived++
+			t.env.Callbacks.NotifyDeliver(f.Src, f.Payload)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package netem
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+
+	"macaw/internal/frame"
+	"macaw/internal/phy"
+	"macaw/internal/sim"
+)
+
+// Broker is the air: it owns the radio physics and relays frames between
+// joined stations with the medium's collision, capture and range semantics
+// applied in (dilated) real time.
+type Broker struct {
+	conn   *net.UDPConn
+	scale  float64
+	s      *sim.Simulator
+	medium *phy.Medium
+	inject chan func()
+
+	mu      sync.Mutex
+	members map[frame.NodeID]*member
+	// Logf, if set, receives broker activity lines.
+	Logf func(format string, args ...any)
+}
+
+type member struct {
+	addr  *net.UDPAddr
+	radio *phy.Radio
+}
+
+// NewBroker listens on addr (e.g. "127.0.0.1:0") with the given time
+// dilation and physical parameters.
+func NewBroker(addr string, scale float64, params phy.Params) (*Broker, error) {
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netem: %w", err)
+	}
+	conn, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return nil, fmt.Errorf("netem: %w", err)
+	}
+	if scale <= 0 {
+		scale = DefaultScale
+	}
+	s := sim.New(1)
+	return &Broker{
+		conn:    conn,
+		scale:   scale,
+		s:       s,
+		medium:  phy.New(s, params),
+		inject:  make(chan func(), 256),
+		members: make(map[frame.NodeID]*member),
+	}, nil
+}
+
+// Addr returns the broker's UDP address.
+func (b *Broker) Addr() net.Addr { return b.conn.LocalAddr() }
+
+func (b *Broker) logf(format string, args ...any) {
+	if b.Logf != nil {
+		b.Logf(format, args...)
+	}
+}
+
+// Run serves until ctx is cancelled.
+func (b *Broker) Run(ctx context.Context) error {
+	go b.readLoop(ctx)
+	b.s.RunRealtime(ctx, b.scale, b.inject)
+	return b.conn.Close()
+}
+
+// readLoop moves datagrams from the socket into the simulation loop.
+func (b *Broker) readLoop(ctx context.Context) {
+	for ctx.Err() == nil {
+		buf, addr, err := readDatagram(b.conn)
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			log.Printf("netem broker: read: %v", err)
+			return
+		}
+		udpAddr, ok := addr.(*net.UDPAddr)
+		if !ok {
+			continue
+		}
+		if isControl(buf) {
+			b.handleControl(buf, udpAddr)
+			continue
+		}
+		f, err := frame.Unmarshal(buf)
+		if err != nil {
+			b.logf("broker: dropping undecodable datagram from %v: %v", addr, err)
+			continue
+		}
+		b.inject <- func() { b.transmit(f) }
+	}
+}
+
+// handleControl processes a JOIN and acknowledges it.
+func (b *Broker) handleControl(buf []byte, addr *net.UDPAddr) {
+	c, err := parseControl(buf)
+	if err != nil || c.Op != "join" {
+		b.logf("broker: bad control from %v: %v", addr, err)
+		return
+	}
+	done := make(chan struct{})
+	b.inject <- func() {
+		defer close(done)
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		m, exists := b.members[c.ID]
+		if exists {
+			// Rejoin: update the return address only.
+			m.addr = addr
+			return
+		}
+		m = &member{addr: addr}
+		m.radio = b.medium.Attach(c.ID, c.pos(), &relay{b: b, id: c.ID})
+		b.members[c.ID] = m
+		b.logf("broker: %v joined at %v from %v", c.ID, c.pos(), addr)
+	}
+	<-done
+	if _, err := b.conn.WriteToUDP(marshalControl(control{Op: "ok", ID: c.ID}), addr); err != nil {
+		log.Printf("netem broker: ack to %v: %v", addr, err)
+	}
+}
+
+// transmit radiates a station's frame into the medium.
+func (b *Broker) transmit(f *frame.Frame) {
+	b.mu.Lock()
+	m := b.members[f.Src]
+	b.mu.Unlock()
+	if m == nil {
+		b.logf("broker: frame from unjoined %v", f.Src)
+		return
+	}
+	if m.radio.Transmitting() {
+		// The station's clock ran ahead of ours; physically this would
+		// be a garbled splice, so drop the second transmission.
+		b.logf("broker: %v transmitted while still on air; dropped %v", f.Src, f)
+		return
+	}
+	m.radio.Transmit(f)
+}
+
+// relay forwards medium deliveries to the owning station's socket.
+type relay struct {
+	b  *Broker
+	id frame.NodeID
+}
+
+func (r *relay) RadioReceive(f *frame.Frame) {
+	r.b.mu.Lock()
+	m := r.b.members[r.id]
+	r.b.mu.Unlock()
+	if m == nil {
+		return
+	}
+	buf, err := f.Marshal()
+	if err != nil {
+		log.Printf("netem broker: marshal: %v", err)
+		return
+	}
+	if _, err := r.b.conn.WriteToUDP(buf, m.addr); err != nil {
+		log.Printf("netem broker: relay to %v: %v", r.id, err)
+	}
+}
+
+func (r *relay) RadioCarrier(bool) {}

@@ -1,0 +1,86 @@
+// Package netem runs the real protocol stacks over real UDP sockets: an
+// "air broker" process owns the radio physics (the same internal/phy medium
+// driven in real time), and station processes — each running the actual
+// MACA/MACAW state machines against a socket-backed radio — exchange the
+// binary wire frames of internal/frame through it.
+//
+// The broker and every station advance their simulators in lockstep with
+// the wall clock (sim.RunRealtime). Real time is far coarser than the
+// paper's 937.5 µs slot, so emulation runs time-dilated: a Scale of 50
+// stretches the slot to ~47 ms, comfortably above OS timer jitter.
+//
+// Limitations (documented, by design): carrier sense is not propagated to
+// stations (the CarrierSense MACAW option and CSMA need the simulator), and
+// positions are fixed at join time.
+package netem
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+
+	"macaw/internal/frame"
+	"macaw/internal/geom"
+	"macaw/internal/mac"
+	"macaw/internal/sim"
+)
+
+// DefaultScale is the time dilation factor used when none is given: one
+// contention slot lasts ~47 ms of wall time.
+const DefaultScale = 50.0
+
+// EmuConfig returns the MAC timing configuration for live emulation: the
+// paper's rates and sizes, but with a scheduling margin wide enough to
+// absorb socket and OS-timer jitter on the station-broker-station path
+// (a few wall milliseconds, i.e. a sizeable fraction of a simulated slot).
+func EmuConfig() mac.Config {
+	cfg := mac.DefaultConfig()
+	cfg.Margin = 2 * sim.Millisecond
+	cfg.CTSTimeoutSlots = 2
+	return cfg
+}
+
+// control is the JSON control message exchanged next to raw frame bytes.
+// Frames start with the codec magic 'M' (0x4D); control datagrams start
+// with '{'.
+type control struct {
+	Op string `json:"op"` // "join" | "ok"
+	ID frame.NodeID
+	X  float64 `json:"x"`
+	Y  float64 `json:"y"`
+	Z  float64 `json:"z"`
+}
+
+func (c control) pos() geom.Vec3 { return geom.V(c.X, c.Y, c.Z) }
+
+func marshalControl(c control) []byte {
+	b, err := json.Marshal(c)
+	if err != nil {
+		panic(fmt.Sprintf("netem: %v", err)) // struct of scalars cannot fail
+	}
+	return b
+}
+
+// isControl reports whether a datagram is a control message.
+func isControl(b []byte) bool { return len(b) > 0 && b[0] == '{' }
+
+func parseControl(b []byte) (control, error) {
+	var c control
+	if err := json.Unmarshal(b, &c); err != nil {
+		return control{}, fmt.Errorf("netem: bad control datagram: %w", err)
+	}
+	return c, nil
+}
+
+// maxDatagram bounds a marshaled frame (512-byte payload plus header).
+const maxDatagram = 2048
+
+// readDatagram reads one datagram into a fresh slice.
+func readDatagram(conn net.PacketConn) ([]byte, net.Addr, error) {
+	buf := make([]byte, maxDatagram)
+	n, addr, err := conn.ReadFrom(buf)
+	if err != nil {
+		return nil, nil, err
+	}
+	return buf[:n], addr, nil
+}

@@ -1,0 +1,137 @@
+package netem
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"macaw/internal/frame"
+	"macaw/internal/geom"
+	"macaw/internal/mac"
+	"macaw/internal/mac/macaw"
+	"macaw/internal/phy"
+)
+
+// emuConfig shortens timers for wall-clock testing: the paper's bitrate
+// with a dilation that puts one slot at ~20 real milliseconds.
+const testScale = 20.0
+
+func startBroker(t *testing.T, ctx context.Context) *Broker {
+	t.Helper()
+	b, err := NewBroker("127.0.0.1:0", testScale, phy.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	go b.Run(ctx)
+	return b
+}
+
+func startStation(t *testing.T, ctx context.Context, b *Broker, id frame.NodeID, pos geom.Vec3) *Station {
+	t.Helper()
+	st, err := NewStation(b.Addr().String(), id, pos, testScale, EmuConfig(),
+		func(env *mac.Env) mac.MAC { return macaw.New(env, macaw.DefaultOptions()) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	go st.Run(ctx)
+	return st
+}
+
+func TestLiveExchangeOverUDP(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	b := startBroker(t, ctx)
+
+	var delivered, sent atomic.Int32
+	a := startStation(t, ctx, b, 1, geom.V(0, 0, 6))
+	recv := startStation(t, ctx, b, 2, geom.V(6, 0, 6))
+	recv.Deliver = func(src frame.NodeID, payload []byte) {
+		if src == 1 && string(payload) == "over the air" {
+			delivered.Add(1)
+		}
+	}
+	a.Sent = func(*mac.Packet) { sent.Add(1) }
+
+	for i := 0; i < 3; i++ {
+		a.Enqueue(&mac.Packet{Dst: 2, Size: frame.DefaultDataBytes, Payload: []byte("over the air")})
+	}
+
+	// Each full exchange is ~20ms simulated = ~0.4s at scale 20.
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		if delivered.Load() == 3 && sent.Load() == 3 {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if delivered.Load() != 3 || sent.Load() != 3 {
+		t.Fatalf("delivered=%d sent=%d after real-time run", delivered.Load(), sent.Load())
+	}
+	st := a.MAC().Stats()
+	if st.RTSSent == 0 || st.DSSent == 0 {
+		t.Fatalf("the live exchange did not use the MACAW pattern: %+v", st)
+	}
+}
+
+func TestOutOfRangeStationHearsNothing(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	b := startBroker(t, ctx)
+
+	var overheard, delivered atomic.Int32
+	a := startStation(t, ctx, b, 1, geom.V(0, 0, 6))
+	near := startStation(t, ctx, b, 2, geom.V(6, 0, 6))
+	far := startStation(t, ctx, b, 3, geom.V(50, 0, 6))
+	near.Deliver = func(frame.NodeID, []byte) { delivered.Add(1) }
+	far.Deliver = func(frame.NodeID, []byte) { overheard.Add(1) }
+
+	a.Enqueue(&mac.Packet{Dst: 2, Size: frame.DefaultDataBytes, Payload: []byte("x")})
+
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) && delivered.Load() == 0 {
+		time.Sleep(50 * time.Millisecond)
+	}
+	if delivered.Load() == 0 {
+		t.Fatal("in-range delivery never happened")
+	}
+	time.Sleep(200 * time.Millisecond)
+	if overheard.Load() != 0 {
+		t.Fatal("out-of-range station received data")
+	}
+}
+
+func TestControlCodec(t *testing.T) {
+	c := control{Op: "join", ID: 7, X: 1, Y: 2, Z: 3}
+	b := marshalControl(c)
+	if !isControl(b) {
+		t.Fatal("control not recognized")
+	}
+	got, err := parseControl(b)
+	if err != nil || got != c {
+		t.Fatalf("round trip: %+v %v", got, err)
+	}
+	if _, err := parseControl([]byte("{nonsense")); err == nil {
+		t.Fatal("bad control accepted")
+	}
+	f := &frame.Frame{Type: frame.RTS, Src: 1, Dst: 2}
+	fb, _ := f.Marshal()
+	if isControl(fb) {
+		t.Fatal("frame misclassified as control")
+	}
+}
+
+func TestRejoinUpdatesAddress(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	b := startBroker(t, ctx)
+	// Join the same id twice from two sockets; the second must win.
+	s1 := startStation(t, ctx, b, 1, geom.V(0, 0, 6))
+	_ = s1
+	s2, err := NewStation(b.Addr().String(), 1, geom.V(0, 0, 6), testScale, EmuConfig(),
+		func(env *mac.Env) mac.MAC { return macaw.New(env, macaw.DefaultOptions()) })
+	if err != nil {
+		t.Fatalf("rejoin failed: %v", err)
+	}
+	defer s2.conn.Close()
+}

@@ -1,0 +1,22 @@
+package phy
+
+import "macaw/internal/geom"
+
+// GainFunc adapts a plain function to the Propagation interface; tests and
+// the naive boolean in-range model use it.
+type GainFunc func(src, dst geom.Vec3) float64
+
+// Gain implements Propagation.
+func (f GainFunc) Gain(src, dst geom.Vec3) float64 { return f(src, dst) }
+
+// BooleanRange returns the paper's "extremely simple model in which any two
+// stations are either in-range or out-of-range": full power within rangeFt,
+// nothing beyond.
+func BooleanRange(rangeFt float64) Propagation {
+	return GainFunc(func(src, dst geom.Vec3) float64 {
+		if src.Dist(dst) <= rangeFt {
+			return 1
+		}
+		return 0
+	})
+}

@@ -1,0 +1,374 @@
+package phy
+
+import (
+	"fmt"
+	"math/rand"
+
+	"macaw/internal/frame"
+	"macaw/internal/geom"
+	"macaw/internal/sim"
+)
+
+// Handler receives physical-layer indications for one radio. Callbacks are
+// always delivered from the simulator event loop, never synchronously from
+// inside a Transmit call, so handlers may freely call back into the radio.
+type Handler interface {
+	// RadioReceive delivers a cleanly received frame, including overheard
+	// frames addressed to other stations. The frame is shared among all
+	// receivers and must not be mutated.
+	RadioReceive(f *frame.Frame)
+	// RadioCarrier signals transitions of the carrier-sense indication.
+	RadioCarrier(busy bool)
+}
+
+// CorruptionObserver is an optional extension of Handler: if implemented,
+// the radio reports receptions destroyed by collision or noise. Only the
+// intended destination is notified.
+type CorruptionObserver interface {
+	RadioCorrupted(f *frame.Frame)
+}
+
+// Counters aggregates medium-level statistics.
+type Counters struct {
+	// Transmissions counts frames put on the air.
+	Transmissions int
+	// Delivered counts clean receptions (including overhears).
+	Delivered int
+	// Corrupted counts receptions destroyed by collision.
+	Corrupted int
+	// NoiseDropped counts receptions destroyed by the noise model.
+	NoiseDropped int
+	// Aborted counts receptions abandoned because the receiving radio
+	// started transmitting (half-duplex) or was disabled.
+	Aborted int
+}
+
+type reception struct {
+	radio     *Radio
+	power     float64
+	corrupted bool
+}
+
+type transmission struct {
+	radio *Radio
+	f     *frame.Frame
+	end   sim.Time
+	rx    []*reception
+}
+
+// NoiseSource is a positional energy emitter (e.g. the Figure 11 electronic
+// whiteboard modeled as raw interference rather than packet loss).
+type NoiseSource struct {
+	m     *Medium
+	pos   geom.Vec3
+	power float64
+	on    bool
+}
+
+// Set switches the source on or off, immediately re-evaluating ongoing
+// receptions and carrier indications.
+func (n *NoiseSource) Set(on bool) {
+	if n.on == on {
+		return
+	}
+	n.on = on
+	n.m.recheckInterference()
+	n.m.updateCarrier()
+}
+
+// On reports whether the source is radiating.
+func (n *NoiseSource) On() bool { return n.on }
+
+// Medium is the shared radio channel.
+type Medium struct {
+	s         *sim.Simulator
+	prop      Propagation
+	params    Params
+	threshold float64
+	capture   float64
+	radios    []*Radio
+	active    []*transmission
+	sources   []*NoiseSource
+	noise     NoiseModel
+	rng       *rand.Rand
+	counters  Counters
+}
+
+// New creates a medium with the given physical parameters and no noise.
+func New(s *sim.Simulator, p Params) *Medium {
+	return &Medium{
+		s:         s,
+		prop:      NewPropagation(p),
+		params:    p,
+		threshold: p.Threshold(),
+		capture:   p.CaptureRatio(),
+		noise:     NoNoise{},
+		rng:       s.NewRand(),
+	}
+}
+
+// SetNoise installs the packet-level noise model.
+func (m *Medium) SetNoise(n NoiseModel) {
+	if n == nil {
+		n = NoNoise{}
+	}
+	m.noise = n
+}
+
+// SetPropagation overrides the propagation model (used by tests and by the
+// naive boolean-range model).
+func (m *Medium) SetPropagation(p Propagation) { m.prop = p }
+
+// Params returns the medium's physical parameters.
+func (m *Medium) Params() Params { return m.params }
+
+// Counters returns a snapshot of the medium statistics.
+func (m *Medium) Counters() Counters { return m.counters }
+
+// Attach adds a radio at pos. The handler may be nil initially and installed
+// later with SetHandler, but must be set before any frame can be delivered.
+func (m *Medium) Attach(id frame.NodeID, pos geom.Vec3, h Handler) *Radio {
+	r := &Radio{id: id, pos: pos, m: m, h: h, enabled: true}
+	m.radios = append(m.radios, r)
+	return r
+}
+
+// AddNoiseSource registers an energy emitter at pos with the given transmit
+// power (1.0 = station power). It starts switched off.
+func (m *Medium) AddNoiseSource(pos geom.Vec3, power float64) *NoiseSource {
+	ns := &NoiseSource{m: m, pos: pos, power: power}
+	m.sources = append(m.sources, ns)
+	return ns
+}
+
+// Radios returns the attached radios in attach order.
+func (m *Medium) Radios() []*Radio { return m.radios }
+
+// InRange reports whether a transmission from a would be decodable at b in
+// the absence of interference — the paper's simple in-range predicate.
+func (m *Medium) InRange(a, b *Radio) bool {
+	return m.prop.Gain(a.pos, b.pos) >= m.threshold
+}
+
+// power returns the received power at q for a transmission from r.
+func (m *Medium) power(r, q *Radio) float64 { return m.prop.Gain(r.pos, q.pos) }
+
+// noiseEnergyAt sums the energy of active noise sources at q.
+func (m *Medium) noiseEnergyAt(q *Radio) float64 {
+	var sum float64
+	for _, ns := range m.sources {
+		if ns.on {
+			sum += ns.power * m.prop.Gain(ns.pos, q.pos)
+		}
+	}
+	return sum
+}
+
+// interferenceAt sums received power at q from every active transmission
+// except exclude, plus noise-source energy.
+func (m *Medium) interferenceAt(q *Radio, exclude *transmission) float64 {
+	sum := m.noiseEnergyAt(q)
+	for _, t := range m.active {
+		if t == exclude || t.radio == q {
+			continue
+		}
+		sum += m.power(t.radio, q)
+	}
+	return sum
+}
+
+// recheckInterference re-evaluates the capture condition for every ongoing
+// reception; it is called whenever the interference landscape changes.
+func (m *Medium) recheckInterference() {
+	for _, t := range m.active {
+		for _, rec := range t.rx {
+			if rec.corrupted {
+				continue
+			}
+			i := m.interferenceAt(rec.radio, t)
+			if i > 0 && rec.power < m.capture*i {
+				rec.corrupted = true
+			}
+		}
+	}
+}
+
+// totalPowerAt is the carrier-sense energy at q (all transmissions plus
+// noise sources; q's own transmission is handled separately).
+func (m *Medium) totalPowerAt(q *Radio) float64 {
+	return m.interferenceAt(q, nil)
+}
+
+// updateCarrier recomputes every radio's carrier indication and schedules
+// notifications for transitions.
+func (m *Medium) updateCarrier() {
+	for _, q := range m.radios {
+		busy := q.enabled && (q.tx != nil || m.totalPowerAt(q) >= m.threshold)
+		if busy == q.carrierBusy {
+			continue
+		}
+		q.carrierBusy = busy
+		if q.h != nil {
+			h, b := q.h, busy
+			m.s.AtPriority(m.s.Now(), -1, func() { h.RadioCarrier(b) })
+		}
+	}
+}
+
+// startTx begins radiating f from r for its airtime and returns the airtime.
+func (m *Medium) startTx(r *Radio, f *frame.Frame) sim.Duration {
+	air := f.Airtime(m.params.BitrateBPS)
+	if r.tx != nil {
+		panic(fmt.Sprintf("phy: %v transmitting while already transmitting", r.id))
+	}
+	if !r.enabled {
+		// A powered-off station radiates nothing; the caller's own
+		// timers will expire as if the frame were lost.
+		return air
+	}
+	// Half-duplex: any reception in progress at r is lost.
+	for _, t := range m.active {
+		for _, rec := range t.rx {
+			if rec.radio == r && !rec.corrupted {
+				rec.corrupted = true
+				m.counters.Aborted++
+			}
+		}
+	}
+	tx := &transmission{radio: r, f: f, end: m.s.Now() + air}
+	r.tx = tx
+	m.active = append(m.active, tx)
+	m.counters.Transmissions++
+
+	// New receptions at every enabled, non-transmitting radio in range.
+	for _, q := range m.radios {
+		if q == r || !q.enabled || q.tx != nil {
+			continue
+		}
+		p := m.power(r, q)
+		if p < m.threshold {
+			continue
+		}
+		rec := &reception{radio: q, power: p}
+		tx.rx = append(tx.rx, rec)
+	}
+	// The new transmission changes interference everywhere: evaluate the
+	// capture condition for both old and new receptions.
+	m.recheckInterference()
+	m.updateCarrier()
+	// Priority -2: the end of a transmission (and the deliveries it
+	// spawns at priority -1) must precede any same-instant MAC timer, or
+	// a station whose contention slot lands exactly at a frame boundary
+	// would transmit without having "heard" the frame that just ended.
+	m.s.AtPriority(tx.end, -2, func() { m.endTx(tx) })
+	return air
+}
+
+// endTx completes a transmission, delivering clean receptions.
+func (m *Medium) endTx(tx *transmission) {
+	for i, t := range m.active {
+		if t == tx {
+			m.active = append(m.active[:i], m.active[i+1:]...)
+			break
+		}
+	}
+	tx.radio.tx = nil
+	for _, rec := range tx.rx {
+		switch {
+		case rec.corrupted:
+			m.counters.Corrupted++
+			m.notifyCorrupted(rec.radio, tx.f)
+		case !rec.radio.enabled:
+			m.counters.Aborted++
+		case m.noise.Corrupts(m.rng, rec.radio, tx.f):
+			m.counters.NoiseDropped++
+			m.notifyCorrupted(rec.radio, tx.f)
+		default:
+			m.counters.Delivered++
+			if rec.radio.h != nil {
+				h, f := rec.radio.h, tx.f
+				m.s.AtPriority(m.s.Now(), -1, func() { h.RadioReceive(f) })
+			}
+		}
+	}
+	m.updateCarrier()
+}
+
+func (m *Medium) notifyCorrupted(q *Radio, f *frame.Frame) {
+	if q.h == nil || f.Dst != q.id {
+		return
+	}
+	if obs, ok := q.h.(CorruptionObserver); ok {
+		m.s.AtPriority(m.s.Now(), -1, func() { obs.RadioCorrupted(f) })
+	}
+}
+
+// Radio is one station's attachment to the medium.
+type Radio struct {
+	id          frame.NodeID
+	pos         geom.Vec3
+	m           *Medium
+	h           Handler
+	tx          *transmission
+	enabled     bool
+	carrierBusy bool
+}
+
+// ID returns the radio's station identifier.
+func (r *Radio) ID() frame.NodeID { return r.id }
+
+// Pos returns the radio's current position.
+func (r *Radio) Pos() geom.Vec3 { return r.pos }
+
+// SetHandler installs the upper-layer handler.
+func (r *Radio) SetHandler(h Handler) { r.h = h }
+
+// SetPos moves the radio (mobility). Powers of receptions already in flight
+// keep their start-of-packet snapshot; the move affects subsequent
+// transmissions and the carrier indication.
+func (r *Radio) SetPos(p geom.Vec3) {
+	r.pos = p
+	r.m.recheckInterference()
+	r.m.updateCarrier()
+}
+
+// Enabled reports whether the radio is powered.
+func (r *Radio) Enabled() bool { return r.enabled }
+
+// SetEnabled powers the radio on or off. Powering off destroys receptions
+// in progress at this radio and makes it inaudible and deaf until re-enabled.
+func (r *Radio) SetEnabled(on bool) {
+	if r.enabled == on {
+		return
+	}
+	r.enabled = on
+	if !on {
+		for _, t := range r.m.active {
+			for _, rec := range t.rx {
+				if rec.radio == r && !rec.corrupted {
+					rec.corrupted = true
+					r.m.counters.Aborted++
+				}
+			}
+		}
+		r.carrierBusy = false
+	}
+	r.m.updateCarrier()
+}
+
+// Transmitting reports whether the radio is currently radiating.
+func (r *Radio) Transmitting() bool { return r.tx != nil }
+
+// CarrierBusy reports the current carrier-sense indication.
+func (r *Radio) CarrierBusy() bool { return r.carrierBusy }
+
+// Transmit radiates f and returns its airtime. The caller is responsible
+// for scheduling its own end-of-transmission continuation (typically
+// sim.After(airtime, ...)). Transmitting while already transmitting panics:
+// it is a MAC-layer bug.
+func (r *Radio) Transmit(f *frame.Frame) sim.Duration {
+	if f.Src != r.id {
+		panic(fmt.Sprintf("phy: frame src %v transmitted by %v", f.Src, r.id))
+	}
+	return r.m.startTx(r, f)
+}

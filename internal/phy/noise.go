@@ -1,0 +1,75 @@
+package phy
+
+import (
+	"math/rand"
+
+	"macaw/internal/frame"
+	"macaw/internal/geom"
+)
+
+// NoiseModel decides whether an otherwise-clean reception is corrupted by
+// ambient noise. The paper models intermittent noise "as a given probability
+// that each packet (regardless of size) is not received cleanly at its
+// intended destination" (§3.3.1).
+type NoiseModel interface {
+	// Corrupts reports whether the reception of f at rx is destroyed.
+	// It is called once per otherwise-successful reception and may draw
+	// from r.
+	Corrupts(r *rand.Rand, rx *Radio, f *frame.Frame) bool
+}
+
+// NoNoise is the noise-free default.
+type NoNoise struct{}
+
+// Corrupts implements NoiseModel.
+func (NoNoise) Corrupts(*rand.Rand, *Radio, *frame.Frame) bool { return false }
+
+// DestLoss drops each packet at its intended destination with probability P,
+// the exact model behind Table 4. Overheard copies at third parties are
+// unaffected, matching "not received cleanly at its intended destination".
+type DestLoss struct {
+	P float64
+}
+
+// Corrupts implements NoiseModel.
+func (n DestLoss) Corrupts(r *rand.Rand, rx *Radio, f *frame.Frame) bool {
+	return rx.ID() == f.Dst && r.Float64() < n.P
+}
+
+// UniformLoss drops every reception (including overhears) with probability
+// P; a harsher variant used for robustness testing.
+type UniformLoss struct {
+	P float64
+}
+
+// Corrupts implements NoiseModel.
+func (n UniformLoss) Corrupts(r *rand.Rand, _ *Radio, _ *frame.Frame) bool {
+	return r.Float64() < n.P
+}
+
+// RegionLoss drops receptions with probability P only at radios inside a
+// spatial region — the Figure 11 electronic whiteboard is a noise source
+// affecting cell C1, modeled as "a packet error rate of 0.01" there.
+type RegionLoss struct {
+	P        float64
+	InRegion func(geom.Vec3) bool
+}
+
+// Corrupts implements NoiseModel.
+func (n RegionLoss) Corrupts(r *rand.Rand, rx *Radio, _ *frame.Frame) bool {
+	return n.InRegion != nil && n.InRegion(rx.Pos()) && r.Float64() < n.P
+}
+
+// MultiNoise combines several models; a reception is corrupted if any
+// component corrupts it.
+type MultiNoise []NoiseModel
+
+// Corrupts implements NoiseModel.
+func (m MultiNoise) Corrupts(r *rand.Rand, rx *Radio, f *frame.Frame) bool {
+	for _, n := range m {
+		if n.Corrupts(r, rx, f) {
+			return true
+		}
+	}
+	return false
+}

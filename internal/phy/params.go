@@ -1,0 +1,102 @@
+// Package phy models PARC's near-field nanocellular radio (§2.1 of the
+// paper) as a shared medium: r^-γ signal decay, a reception threshold equal
+// to the signal strength at 10 feet, the 10 dB capture rule applied over the
+// whole packet duration, half-duplex radios, carrier sensing, and the noise
+// models used in the evaluation.
+package phy
+
+import (
+	"math"
+
+	"macaw/internal/geom"
+)
+
+// Params collects the physical-layer constants. The zero value is not
+// useful; use DefaultParams.
+type Params struct {
+	// BitrateBPS is the channel rate. The paper's channel is a single
+	// 256 kbps channel.
+	BitrateBPS int
+	// Gamma is the near-field path-loss exponent: received power decays
+	// as d^-Gamma. Gamma = 6 makes the paper's 10 dB capture threshold
+	// correspond to a distance ratio of 10^(1/6) ≈ 1.47, matching the
+	// paper's "distance ratio of ≈ 1.5".
+	Gamma float64
+	// RangeFt is the reception-threshold distance in feet: "the signal
+	// strength at 10 feet".
+	RangeFt float64
+	// CaptureDB is the signal-to-interference margin required for clean
+	// reception during the entire packet time ("at least 10 dB").
+	CaptureDB float64
+	// MinDist clamps the propagation distance so co-located stations do
+	// not produce infinite power.
+	MinDist float64
+	// CubeGrid, when true, quantizes receiver positions to the centers
+	// of 1-cubic-foot cubes, exactly like the paper's simulator.
+	CubeGrid bool
+}
+
+// DefaultParams returns the paper's radio configuration.
+func DefaultParams() Params {
+	return Params{
+		BitrateBPS: 256000,
+		Gamma:      6,
+		RangeFt:    10,
+		CaptureDB:  10,
+		MinDist:    0.25,
+		CubeGrid:   true,
+	}
+}
+
+// Threshold returns the minimum received power (with unit transmit power)
+// for a signal to be decodable: the power at RangeFt.
+func (p Params) Threshold() float64 { return math.Pow(p.RangeFt, -p.Gamma) }
+
+// CaptureRatio returns the linear power ratio corresponding to CaptureDB.
+func (p Params) CaptureRatio() float64 { return math.Pow(10, p.CaptureDB/10) }
+
+// Propagation computes the received power at dst for a unit-power
+// transmitter at src.
+type Propagation interface {
+	Gain(src, dst geom.Vec3) float64
+}
+
+// NearField is the r^-γ near-field decay model.
+type NearField struct {
+	Gamma   float64
+	MinDist float64
+}
+
+// Gain implements Propagation.
+func (n NearField) Gain(src, dst geom.Vec3) float64 {
+	d := src.Dist(dst)
+	if d < n.MinDist {
+		d = n.MinDist
+	}
+	return math.Pow(d, -n.Gamma)
+}
+
+// CubeQuantized wraps a propagation model, quantizing both endpoints to the
+// centers of their 1-cubic-foot grid cubes before evaluating the inner
+// model — the paper's simulator "approximates the media by dividing the
+// space into small cubes and then computing the strength of a signal at each
+// cube according to the distance from the signal source to the center of the
+// cube", and "a station ... resides at the center of a cube". Quantizing
+// both ends keeps the channel symmetric, as the paper's technology is.
+type CubeQuantized struct {
+	Inner Propagation
+}
+
+// Gain implements Propagation.
+func (c CubeQuantized) Gain(src, dst geom.Vec3) float64 {
+	return c.Inner.Gain(geom.Quantize(src), geom.Quantize(dst))
+}
+
+// NewPropagation builds the propagation model implied by p.
+func NewPropagation(p Params) Propagation {
+	var m Propagation = NearField{Gamma: p.Gamma, MinDist: p.MinDist}
+	if p.CubeGrid {
+		m = CubeQuantized{Inner: m}
+	}
+	return m
+}

@@ -1,0 +1,285 @@
+// Package sim provides the discrete-event simulation engine underlying the
+// MACAW reproduction.
+//
+// The engine is deliberately minimal and deterministic: time is an integer
+// number of nanoseconds, events fire in (time, insertion) order, and all
+// randomness flows through seeded generators obtained from the Simulator so
+// that a run is a pure function of its configuration and seed.
+package sim
+
+import (
+	"container/heap"
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a simulation timestamp in nanoseconds since the start of the run.
+type Time int64
+
+// Duration is a span of simulation time in nanoseconds. It is kept distinct
+// from time.Duration to make it impossible to accidentally mix wall-clock
+// durations into the simulation.
+type Duration = Time
+
+// Common durations, mirroring the time package.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Seconds reports t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String formats the time as seconds with microsecond precision.
+func (t Time) String() string { return fmt.Sprintf("%.6fs", t.Seconds()) }
+
+// FromSeconds converts floating-point seconds to a simulation Time.
+func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
+
+// Event is a scheduled callback. The zero Event is not valid; events are
+// created exclusively through Simulator.At and Simulator.After.
+type Event struct {
+	when      Time
+	prio      int
+	seq       uint64
+	fn        func()
+	cancelled bool
+	index     int // position in the heap, -1 once popped
+}
+
+// When reports the time at which the event fires (or would have fired).
+func (e *Event) When() Time { return e.when }
+
+// Cancel prevents a pending event from firing. Cancelling an event that has
+// already fired or been cancelled is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.cancelled = true
+	}
+}
+
+// Cancelled reports whether Cancel has been called on the event.
+func (e *Event) Cancelled() bool { return e != nil && e.cancelled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	if h[i].prio != h[j].prio {
+		return h[i].prio < h[j].prio
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Simulator owns the event queue and the simulation clock.
+type Simulator struct {
+	now     Time
+	queue   eventHeap
+	seq     uint64
+	seed    int64
+	streams int64
+	rng     *rand.Rand
+	stopped bool
+}
+
+// New returns a Simulator whose randomness derives from seed.
+func New(seed int64) *Simulator {
+	return &Simulator{seed: seed, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now reports the current simulation time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Seed reports the seed the simulator was created with.
+func (s *Simulator) Seed() int64 { return s.seed }
+
+// Rand returns the simulator's primary random number generator. Callers that
+// need isolated, reproducible streams should prefer NewRand.
+func (s *Simulator) Rand() *rand.Rand { return s.rng }
+
+// NewRand returns a fresh generator whose seed is derived deterministically
+// from the simulator seed and the number of streams created so far. Giving
+// each station its own stream keeps per-station behaviour stable when
+// unrelated parts of the configuration change.
+func (s *Simulator) NewRand() *rand.Rand {
+	s.streams++
+	// SplitMix-style scramble so consecutive stream indices land far apart.
+	z := uint64(s.seed) + uint64(s.streams)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return rand.New(rand.NewSource(int64(z)))
+}
+
+// At schedules fn to run at time t with default (zero) priority.
+// Scheduling in the past panics: such an event would silently corrupt
+// causality.
+func (s *Simulator) At(t Time, fn func()) *Event {
+	return s.AtPriority(t, 0, fn)
+}
+
+// AtPriority schedules fn to run at time t. Events at the same instant fire
+// in ascending priority order (FIFO within a priority class). Physical-layer
+// completions use negative priorities so that a station's same-instant
+// protocol timers always observe frames that finished "now" — exactly the
+// ordering a real receiver sees, where decoding completes before any local
+// decision taken at the same moment.
+func (s *Simulator) AtPriority(t Time, prio int, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	s.seq++
+	e := &Event{when: t, prio: prio, seq: s.seq, fn: fn}
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (s *Simulator) After(d Duration, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Stop makes the current Run call return after the in-flight event completes.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Pending reports the number of events still queued (including cancelled
+// events that have not yet been discarded).
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// purge discards cancelled events from the head of the queue so that
+// queue[0], when present, is always a live event.
+func (s *Simulator) purge() {
+	for len(s.queue) > 0 && s.queue[0].cancelled {
+		heap.Pop(&s.queue)
+	}
+}
+
+// Step fires the single earliest pending event, skipping cancelled ones.
+// It reports false when the queue is empty.
+func (s *Simulator) Step() bool {
+	s.purge()
+	if len(s.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.queue).(*Event)
+	s.now = e.when
+	e.fn()
+	return true
+}
+
+// Run processes events in order until the queue is empty, the clock passes
+// until, or Stop is called. Events scheduled exactly at until still fire.
+func (s *Simulator) Run(until Time) {
+	s.stopped = false
+	for !s.stopped {
+		s.purge()
+		if len(s.queue) == 0 {
+			break
+		}
+		if s.queue[0].when > until {
+			s.now = until
+			return
+		}
+		s.Step()
+	}
+	if s.now < until {
+		s.now = until
+	}
+}
+
+// RunAll processes events until the queue drains or Stop is called.
+func (s *Simulator) RunAll() {
+	s.stopped = false
+	for !s.stopped && s.Step() {
+	}
+}
+
+// RunRealtime advances the simulation in lockstep with the wall clock:
+// events fire when their simulated time arrives on the (scaled) real clock,
+// and external work — e.g. frames arriving on a socket — is injected through
+// inject and executed at the wall-mapped current time. scale stretches
+// simulated time (scale 2 runs at half speed; protocols with sub-millisecond
+// slots need scale >> 1 to survive OS timer jitter). RunRealtime returns
+// when ctx is cancelled.
+//
+// The emulation layer (internal/netem) drives live protocol stacks with
+// this; the discrete-event Run remains the tool for experiments.
+func (s *Simulator) RunRealtime(ctx context.Context, scale float64, inject <-chan func()) {
+	if scale <= 0 {
+		scale = 1
+	}
+	start := time.Now()
+	simStart := s.now
+	wallFor := func(t Time) time.Time {
+		return start.Add(time.Duration(float64(t-simStart) * scale))
+	}
+	simNow := func() Time {
+		return simStart + Time(float64(time.Since(start))/scale)
+	}
+	for {
+		var due <-chan time.Time
+		var timer *time.Timer
+		s.purge()
+		if len(s.queue) > 0 {
+			d := time.Until(wallFor(s.queue[0].when))
+			if d <= 0 {
+				s.Step()
+				continue
+			}
+			timer = time.NewTimer(d)
+			due = timer.C
+		}
+		select {
+		case <-ctx.Done():
+			if timer != nil {
+				timer.Stop()
+			}
+			return
+		case fn, ok := <-inject:
+			if timer != nil {
+				timer.Stop()
+			}
+			if !ok {
+				return
+			}
+			if t := simNow(); t > s.now {
+				s.now = t
+			}
+			fn()
+		case <-due:
+			s.Step()
+		}
+	}
+}

@@ -1,0 +1,377 @@
+package sim
+
+import (
+	"context"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTimeConversions(t *testing.T) {
+	if got := FromSeconds(1.5); got != 1500*Millisecond {
+		t.Fatalf("FromSeconds(1.5) = %d, want %d", got, 1500*Millisecond)
+	}
+	if got := (2 * Second).Seconds(); got != 2.0 {
+		t.Fatalf("Seconds() = %v, want 2", got)
+	}
+	if got := Time(1500 * Millisecond).String(); got != "1.500000s" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	s := New(1)
+	var fired []Time
+	for _, d := range []Duration{5 * Second, 1 * Second, 3 * Second, 2 * Second, 4 * Second} {
+		d := d
+		s.After(d, func() { fired = append(fired, s.Now()) })
+	}
+	s.RunAll()
+	if len(fired) != 5 {
+		t.Fatalf("fired %d events, want 5", len(fired))
+	}
+	if !sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] }) {
+		t.Fatalf("events fired out of order: %v", fired)
+	}
+}
+
+func TestSameTimeEventsFireFIFO(t *testing.T) {
+	s := New(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(1*Second, func() { order = append(order, i) })
+	}
+	s.RunAll()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestCancelPreventsFiring(t *testing.T) {
+	s := New(1)
+	fired := false
+	e := s.After(1*Second, func() { fired = true })
+	e.Cancel()
+	if !e.Cancelled() {
+		t.Fatal("Cancelled() = false after Cancel")
+	}
+	s.RunAll()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestCancelIsIdempotentAndNilSafe(t *testing.T) {
+	s := New(1)
+	e := s.After(1, func() {})
+	e.Cancel()
+	e.Cancel()
+	var nilEvent *Event
+	nilEvent.Cancel() // must not panic
+	if nilEvent.Cancelled() {
+		t.Fatal("nil event reports cancelled")
+	}
+	s.RunAll()
+}
+
+func TestRunStopsAtHorizon(t *testing.T) {
+	s := New(1)
+	var fired []Time
+	s.After(1*Second, func() { fired = append(fired, s.Now()) })
+	s.After(3*Second, func() { fired = append(fired, s.Now()) })
+	s.Run(2 * Second)
+	if len(fired) != 1 {
+		t.Fatalf("fired %d events before horizon, want 1", len(fired))
+	}
+	if s.Now() != 2*Second {
+		t.Fatalf("Now() = %v after Run(2s), want 2s", s.Now())
+	}
+	s.Run(4 * Second)
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events total, want 2", len(fired))
+	}
+}
+
+func TestRunFiresEventExactlyAtHorizon(t *testing.T) {
+	s := New(1)
+	fired := false
+	s.At(2*Second, func() { fired = true })
+	s.Run(2 * Second)
+	if !fired {
+		t.Fatal("event at the horizon did not fire")
+	}
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	s := New(1)
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 100 {
+			s.After(10*Millisecond, tick)
+		}
+	}
+	s.After(10*Millisecond, tick)
+	s.RunAll()
+	if count != 100 {
+		t.Fatalf("recursive scheduling ran %d ticks, want 100", count)
+	}
+	if s.Now() != 1*Second {
+		t.Fatalf("Now() = %v, want 1s", s.Now())
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := New(1)
+	s.After(1*Second, func() {})
+	s.RunAll()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	s.At(0, func() {})
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	s := New(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay did not panic")
+		}
+	}()
+	s.After(-1, func() {})
+}
+
+func TestNilFuncPanics(t *testing.T) {
+	s := New(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil event function did not panic")
+		}
+	}()
+	s.At(0, nil)
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	s := New(1)
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.After(Duration(i)*Second, func() {
+			count++
+			if count == 3 {
+				s.Stop()
+			}
+		})
+	}
+	s.RunAll()
+	if count != 3 {
+		t.Fatalf("Stop fired %d events, want 3", count)
+	}
+	// Run may be resumed afterwards.
+	s.RunAll()
+	if count != 10 {
+		t.Fatalf("resume fired %d events total, want 10", count)
+	}
+}
+
+func TestStepOnEmptyQueue(t *testing.T) {
+	s := New(1)
+	if s.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+}
+
+func TestDeterministicRNGStreams(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	ra1, ra2 := a.NewRand(), a.NewRand()
+	rb1, rb2 := b.NewRand(), b.NewRand()
+	for i := 0; i < 100; i++ {
+		if ra1.Int63() != rb1.Int63() || ra2.Int63() != rb2.Int63() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestDistinctRNGStreamsDiffer(t *testing.T) {
+	s := New(42)
+	r1, r2 := s.NewRand(), s.NewRand()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if r1.Int63() == r2.Int63() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("distinct streams collided %d/100 times", same)
+	}
+}
+
+func TestSeedAccessor(t *testing.T) {
+	if New(7).Seed() != 7 {
+		t.Fatal("Seed() did not round-trip")
+	}
+}
+
+// Property: for any batch of event delays, events fire in nondecreasing time
+// order and the clock ends at the maximum delay.
+func TestQuickEventOrdering(t *testing.T) {
+	f := func(delays []uint32) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		s := New(1)
+		var fired []Time
+		var max Time
+		for _, d := range delays {
+			dt := Time(d)
+			if dt > max {
+				max = dt
+			}
+			s.After(dt, func() { fired = append(fired, s.Now()) })
+		}
+		s.RunAll()
+		if len(fired) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return s.Now() == max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cancelling an arbitrary subset leaves exactly the others fired.
+func TestQuickCancelSubset(t *testing.T) {
+	f := func(delays []uint16, mask uint64) bool {
+		s := New(1)
+		fired := make(map[int]bool)
+		events := make([]*Event, len(delays))
+		for i, d := range delays {
+			i := i
+			events[i] = s.After(Time(d), func() { fired[i] = true })
+		}
+		for i := range events {
+			if mask&(1<<(uint(i)%64)) != 0 {
+				events[i].Cancel()
+			}
+		}
+		s.RunAll()
+		for i := range events {
+			want := mask&(1<<(uint(i)%64)) == 0
+			if fired[i] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPendingCount(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 5; i++ {
+		s.After(Time(i+1), func() {})
+	}
+	if s.Pending() != 5 {
+		t.Fatalf("Pending() = %d, want 5", s.Pending())
+	}
+	s.RunAll()
+	if s.Pending() != 0 {
+		t.Fatalf("Pending() = %d after RunAll, want 0", s.Pending())
+	}
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	delays := make([]Duration, 1024)
+	for i := range delays {
+		delays[i] = Duration(r.Int63n(int64(Second)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := New(1)
+		for _, d := range delays {
+			s.After(d, func() {})
+		}
+		s.RunAll()
+	}
+}
+
+func TestCancelledHeadDoesNotOvershootHorizon(t *testing.T) {
+	// A cancelled event before the horizon must not let Run execute a
+	// live event scheduled beyond the horizon.
+	s := New(1)
+	e := s.After(1*Second, func() {})
+	fired := false
+	s.After(5*Second, func() { fired = true })
+	e.Cancel()
+	s.Run(2 * Second)
+	if fired {
+		t.Fatal("Run overshot its horizon past a cancelled head event")
+	}
+	if s.Now() != 2*Second {
+		t.Fatalf("Now() = %v, want 2s", s.Now())
+	}
+}
+
+func TestRunRealtimeFiresOnWallClock(t *testing.T) {
+	s := New(1)
+	var fired []Time
+	s.After(10*Millisecond, func() { fired = append(fired, s.Now()) })
+	s.After(30*Millisecond, func() { fired = append(fired, s.Now()) })
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	inject := make(chan func(), 1)
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		inject <- func() { fired = append(fired, s.Now()) }
+	}()
+	s.RunRealtime(ctx, 2, inject) // scale 2: 10ms sim = 20ms wall
+	elapsed := time.Since(start)
+	if len(fired) != 3 {
+		t.Fatalf("fired %d events, want 3", len(fired))
+	}
+	// The injection (50ms wall / scale 2 = ~25ms sim) interleaves between
+	// the two timers, and everything fires in simulated-time order.
+	if fired[0] != 10*Millisecond || fired[2] != 30*Millisecond {
+		t.Fatalf("fired at %v", fired)
+	}
+	if fired[1] < 20*Millisecond || fired[1] > 30*Millisecond {
+		t.Fatalf("injection at sim %v, want ~25ms", fired[1])
+	}
+	if elapsed < 250*time.Millisecond {
+		t.Fatalf("RunRealtime returned before ctx expiry: %v", elapsed)
+	}
+}
+
+func TestRunRealtimeClosedInjectReturns(t *testing.T) {
+	s := New(1)
+	inject := make(chan func())
+	close(inject)
+	done := make(chan struct{})
+	go func() {
+		s.RunRealtime(context.Background(), 1, inject)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("RunRealtime did not return on closed inject channel")
+	}
+}

@@ -1,0 +1,435 @@
+// Package topo encodes the network configurations of the paper's Figures
+// 1–11 as concrete coordinate layouts whose hearing relationships are
+// verified (by tests and at build time) against the prose descriptions.
+//
+// Conventions: coordinates are in feet; base stations sit at z = 12 (the
+// ceiling) and pads at z = 6 ("all pads are 6 feet below the base station
+// height"). With the default physics (10-foot range), a pad hears a base
+// within 8 horizontal feet, and stations at equal height hear each other
+// within 10 feet.
+package topo
+
+import (
+	"fmt"
+
+	"macaw/internal/core"
+	"macaw/internal/geom"
+	"macaw/internal/sim"
+)
+
+// StationSpec places one named station.
+type StationSpec struct {
+	Name string
+	Pos  geom.Vec3
+	Base bool
+}
+
+// StreamSpec declares a unidirectional stream between named stations.
+type StreamSpec struct {
+	From, To string
+	Kind     core.TransportKind
+	Rate     float64
+	// StartSec delays the stream's generator (seconds). The two-cell
+	// scenarios of §3.3 assume one stream is established before the
+	// other begins contending ("one of the pads loses the first
+	// contention period").
+	StartSec float64
+}
+
+// Relation is an expected (or forbidden) hearing relationship used to pin
+// the geometry to the paper's description.
+type Relation struct {
+	A, B  string
+	Hears bool
+}
+
+// Layout is a complete named configuration.
+type Layout struct {
+	Name     string
+	Doc      string
+	Stations []StationSpec
+	Streams  []StreamSpec
+	// Relations are the hearing constraints stated (or implied) by the
+	// paper; Verify checks them against the physics.
+	Relations []Relation
+}
+
+// Build adds the layout's stations and streams to n, every station running
+// the protocol built by f. It returns an error if the realized hearing
+// graph violates the layout's relations.
+func (l Layout) Build(n *core.Network, f core.MACFactory) error {
+	for _, s := range l.Stations {
+		n.AddStation(s.Name, s.Pos, f)
+	}
+	for _, s := range l.Streams {
+		from, to := n.Station(s.From), n.Station(s.To)
+		if from == nil || to == nil {
+			return fmt.Errorf("topo: stream %s-%s references unknown station", s.From, s.To)
+		}
+		st := n.AddStream(from, to, s.Kind, s.Rate)
+		st.SetStart(sim.FromSeconds(s.StartSec))
+	}
+	return l.Verify(n)
+}
+
+// Verify checks the layout's hearing relations against the realized
+// physics.
+func (l Layout) Verify(n *core.Network) error {
+	for _, r := range l.Relations {
+		a, b := n.Station(r.A), n.Station(r.B)
+		if a == nil || b == nil {
+			return fmt.Errorf("topo: relation references unknown station %s or %s", r.A, r.B)
+		}
+		got := n.Medium.InRange(a.Radio(), b.Radio())
+		if got != r.Hears {
+			return fmt.Errorf("topo %s: %s hears %s = %v, want %v", l.Name, r.A, r.B, got, r.Hears)
+		}
+	}
+	return nil
+}
+
+// pad and base are position helpers.
+func pad(name string, x, y float64) StationSpec {
+	return StationSpec{Name: name, Pos: geom.V(x, y, 6)}
+}
+
+func base(name string, x, y float64) StationSpec {
+	return StationSpec{Name: name, Pos: geom.V(x, y, 12), Base: true}
+}
+
+// mutual expands to both directions of a hearing constraint.
+func mutual(a, b string, hears bool) []Relation {
+	return []Relation{{a, b, hears}, {b, a, hears}}
+}
+
+func concat(rs ...[]Relation) []Relation {
+	var out []Relation
+	for _, r := range rs {
+		out = append(out, r...)
+	}
+	return out
+}
+
+// Figure1 is the hidden/exposed terminal illustration: B hears both A and
+// C, but A and C cannot hear each other.
+func Figure1() Layout {
+	return Layout{
+		Name: "figure1",
+		Doc:  "hidden/exposed terminal: A-B-C in a line, A and C mutually out of range",
+		Stations: []StationSpec{
+			pad("A", 0, 0), pad("B", 8, 0), pad("C", 16, 0),
+		},
+		Relations: concat(
+			mutual("A", "B", true),
+			mutual("B", "C", true),
+			mutual("A", "C", false),
+		),
+	}
+}
+
+// Figure2 is the single cell with two pads sending to the base station
+// (Table 1): each pad generates 64 pps of UDP.
+func Figure2() Layout {
+	return Layout{
+		Name: "figure2",
+		Doc:  "single cell, P1 and P2 each sending 64pps UDP to B",
+		Stations: []StationSpec{
+			base("B", 0, 0), pad("P1", -4, 0), pad("P2", 4, 0),
+		},
+		Streams: []StreamSpec{
+			{From: "P1", To: "B", Kind: core.UDP, Rate: 64},
+			{From: "P2", To: "B", Kind: core.UDP, Rate: 64},
+		},
+		Relations: concat(
+			mutual("P1", "B", true),
+			mutual("P2", "B", true),
+			mutual("P1", "P2", true),
+		),
+	}
+}
+
+// Figure3 is the single cell with six pads sending to the base station
+// (Table 2): each stream generates 32 pps of UDP.
+func Figure3() Layout {
+	l := Layout{
+		Name: "figure3",
+		Doc:  "single cell, six pads each sending 32pps UDP to B",
+		Stations: []StationSpec{
+			base("B", 0, 0),
+			pad("P1", 4, 0), pad("P2", 2, 3), pad("P3", -2, 3),
+			pad("P4", -4, 0), pad("P5", -2, -3), pad("P6", 2, -3),
+		},
+	}
+	pads := []string{"P1", "P2", "P3", "P4", "P5", "P6"}
+	for _, p := range pads {
+		l.Streams = append(l.Streams, StreamSpec{From: p, To: "B", Kind: core.UDP, Rate: 32})
+		l.Relations = append(l.Relations, mutual(p, "B", true)...)
+	}
+	for i, a := range pads {
+		for _, b := range pads[i+1:] {
+			l.Relations = append(l.Relations, mutual(a, b, true)...)
+		}
+	}
+	return l
+}
+
+// Figure4 is the single cell with two downstream and one upstream stream
+// (Table 3): B->P1, B->P2 and P3->B at 32 pps UDP each.
+func Figure4() Layout {
+	return Layout{
+		Name: "figure4",
+		Doc:  "single cell, B->P1, B->P2, P3->B at 32pps UDP",
+		Stations: []StationSpec{
+			base("B", 0, 0), pad("P1", 4, 0), pad("P2", -4, 0), pad("P3", 0, 4),
+		},
+		Streams: []StreamSpec{
+			{From: "B", To: "P1", Kind: core.UDP, Rate: 32},
+			{From: "B", To: "P2", Kind: core.UDP, Rate: 32},
+			{From: "P3", To: "B", Kind: core.UDP, Rate: 32},
+		},
+		Relations: concat(
+			mutual("P1", "B", true), mutual("P2", "B", true), mutual("P3", "B", true),
+			mutual("P1", "P2", true), mutual("P1", "P3", true), mutual("P2", "P3", true),
+		),
+	}
+}
+
+// twoCells is the shared Figure 5/6/7 geometry: two adjacent cells whose
+// pads are in range of each other but can hear only their own base.
+func twoCells(name, doc string, streams []StreamSpec) Layout {
+	return Layout{
+		Name: name,
+		Doc:  doc,
+		Stations: []StationSpec{
+			base("B1", 0, 0), pad("P1", 6, 0), pad("P2", 12, 0), base("B2", 18, 0),
+		},
+		Streams: streams,
+		Relations: concat(
+			mutual("P1", "B1", true),
+			mutual("P2", "B2", true),
+			mutual("P1", "P2", true),
+			mutual("P1", "B2", false),
+			mutual("P2", "B1", false),
+			mutual("B1", "B2", false),
+		),
+	}
+}
+
+// Figure5 is the exposed-terminal configuration (Table 5): each pad sends
+// to its own base station; each pad is exposed to the other's stream.
+func Figure5() Layout {
+	return twoCells("figure5",
+		"two cells, P1->B1 and P2->B2 at 64pps UDP; each pad exposed to the other",
+		[]StreamSpec{
+			{From: "P1", To: "B1", Kind: core.UDP, Rate: 64},
+			{From: "P2", To: "B2", Kind: core.UDP, Rate: 64, StartSec: 1},
+		})
+}
+
+// Figure6 is Figure 5 with both flows reversed (Table 6): B1->P1 and
+// B2->P2. P1 defers to the data transmissions it overhears toward P2, so
+// B1 cannot elicit a CTS without the RRTS mechanism.
+func Figure6() Layout {
+	return twoCells("figure6",
+		"two cells, B1->P1 and B2->P2 at 64pps UDP; receiver-side contention",
+		[]StreamSpec{
+			{From: "B1", To: "P1", Kind: core.UDP, Rate: 64, StartSec: 1},
+			{From: "B2", To: "P2", Kind: core.UDP, Rate: 64},
+		})
+}
+
+// Figure7 is the unsolved configuration (Table 7): B1->P1 with P2->B2.
+// P2's long data transmissions collide with B1's RTS at P1, so P1 never
+// learns B1 is trying and even RRTS cannot help.
+func Figure7() Layout {
+	return twoCells("figure7",
+		"two cells, B1->P1 and P2->B2 at 64pps UDP; P1 jammed by P2's data",
+		[]StreamSpec{
+			{From: "B1", To: "P1", Kind: core.UDP, Rate: 64, StartSec: 1},
+			{From: "P2", To: "B2", Kind: core.UDP, Rate: 64},
+		})
+}
+
+// Figure8 is the backoff-leakage discussion configuration (§3.4): cell C1
+// holds four border pads P1-P4, cell C2 holds border pad P5 and interior
+// pad P6. No table in the paper; used by the leakage ablation.
+func Figure8() Layout {
+	l := Layout{
+		Name: "figure8",
+		Doc:  "two cells; P1-P5 overhear each other across the border, P6 interior to C2",
+		Stations: []StationSpec{
+			base("B1", 0, 0),
+			pad("P1", 6, 2), pad("P2", 7, 0), pad("P3", 6, -2), pad("P4", 5, 1),
+			base("B2", 20, 0), pad("P5", 14, 0), pad("P6", 25, 2),
+		},
+		Streams: []StreamSpec{
+			{From: "P1", To: "B1", Kind: core.UDP, Rate: 64}, {From: "P2", To: "B1", Kind: core.UDP, Rate: 64},
+			{From: "P3", To: "B1", Kind: core.UDP, Rate: 64}, {From: "P4", To: "B1", Kind: core.UDP, Rate: 64},
+			{From: "P5", To: "B2", Kind: core.UDP, Rate: 64}, {From: "P6", To: "B2", Kind: core.UDP, Rate: 64},
+		},
+	}
+	border := []string{"P1", "P2", "P3", "P4", "P5"}
+	for i, a := range border {
+		for _, b := range border[i+1:] {
+			l.Relations = append(l.Relations, mutual(a, b, true)...)
+		}
+	}
+	for _, p := range []string{"P1", "P2", "P3", "P4"} {
+		l.Relations = append(l.Relations, mutual(p, "B1", true)...)
+		l.Relations = append(l.Relations, mutual(p, "B2", false)...)
+	}
+	l.Relations = append(l.Relations, concat(
+		mutual("P5", "B2", true), mutual("P5", "B1", false),
+		mutual("P6", "B2", true), mutual("P6", "B1", false),
+		mutual("P6", "P5", false), mutual("B1", "B2", false),
+	)...)
+	return l
+}
+
+// Figure9 is the dead-pad configuration (Table 8): a single cell with
+// three pads, bidirectional 32 pps UDP streams, and P1 powered off during
+// the run (the experiment schedules the power-off).
+func Figure9() Layout {
+	l := Layout{
+		Name: "figure9",
+		Doc:  "single cell, B<->P1..P3 bidirectional 32pps UDP; P1 is switched off mid-run",
+		Stations: []StationSpec{
+			base("B", 0, 0), pad("P1", 4, 0), pad("P2", -4, 0), pad("P3", 0, 4),
+		},
+		Streams: []StreamSpec{
+			{From: "B", To: "P1", Kind: core.UDP, Rate: 32}, {From: "P1", To: "B", Kind: core.UDP, Rate: 32},
+			{From: "B", To: "P2", Kind: core.UDP, Rate: 32}, {From: "P2", To: "B", Kind: core.UDP, Rate: 32},
+			{From: "B", To: "P3", Kind: core.UDP, Rate: 32}, {From: "P3", To: "B", Kind: core.UDP, Rate: 32},
+		},
+		Relations: concat(
+			mutual("P1", "B", true), mutual("P2", "B", true), mutual("P3", "B", true),
+			mutual("P1", "P2", true), mutual("P1", "P3", true), mutual("P2", "P3", true),
+		),
+	}
+	return l
+}
+
+// Figure10 is the three-cell evaluation scenario (Table 10): C1 holds
+// border pads P1-P4, C2 holds border pad P5, and P6 straddles the C2-C3
+// border, in range of both B2 and B3. All streams are 32 pps UDP.
+func Figure10() Layout {
+	l := Layout{
+		Name: "figure10",
+		Doc:  "three cells; P1-P5 overhear each other, P6 straddles C2/C3 and sends to B3",
+		Stations: []StationSpec{
+			base("B1", 0, 0),
+			pad("P1", 5, 2), pad("P2", 6, 0), pad("P3", 5, -2), pad("P4", 7, 1),
+			base("B2", 20, 0), pad("P5", 13, 0),
+			base("B3", 32, 0), pad("P6", 26, 0),
+		},
+		Streams: []StreamSpec{
+			{From: "P1", To: "B1", Kind: core.UDP, Rate: 32}, {From: "P2", To: "B1", Kind: core.UDP, Rate: 32},
+			{From: "P3", To: "B1", Kind: core.UDP, Rate: 32}, {From: "P4", To: "B1", Kind: core.UDP, Rate: 32},
+			{From: "B1", To: "P1", Kind: core.UDP, Rate: 32}, {From: "B1", To: "P2", Kind: core.UDP, Rate: 32},
+			{From: "B1", To: "P3", Kind: core.UDP, Rate: 32}, {From: "B1", To: "P4", Kind: core.UDP, Rate: 32},
+			{From: "P5", To: "B2", Kind: core.UDP, Rate: 32}, {From: "B2", To: "P5", Kind: core.UDP, Rate: 32},
+			{From: "P6", To: "B3", Kind: core.UDP, Rate: 32},
+		},
+	}
+	border := []string{"P1", "P2", "P3", "P4", "P5"}
+	for i, a := range border {
+		for _, b := range border[i+1:] {
+			l.Relations = append(l.Relations, mutual(a, b, true)...)
+		}
+	}
+	for _, p := range []string{"P1", "P2", "P3", "P4"} {
+		l.Relations = append(l.Relations, mutual(p, "B1", true)...)
+		l.Relations = append(l.Relations, mutual(p, "B2", false)...)
+		l.Relations = append(l.Relations, mutual(p, "B3", false)...)
+	}
+	l.Relations = append(l.Relations, concat(
+		mutual("P5", "B2", true), mutual("P5", "B1", false), mutual("P5", "B3", false),
+		mutual("P6", "B2", true), mutual("P6", "B3", true),
+		mutual("P6", "B1", false), mutual("P6", "P5", false),
+		mutual("B1", "B2", false), mutual("B2", "B3", false), mutual("B1", "B3", false),
+	)...)
+	return l
+}
+
+// Figure11Move describes the mobile pad in Figure 11: P7 starts in a
+// distant uncongested area and is brought into the coffee room (cell C4)
+// at MoveAt.
+type Figure11Move struct {
+	Start geom.Vec3
+	Dest  geom.Vec3
+}
+
+// Figure11MoveSpec returns P7's trajectory endpoints.
+func Figure11MoveSpec() Figure11Move {
+	return Figure11Move{Start: geom.V(0, 40, 6), Dest: geom.V(0, 9, 6)}
+}
+
+// Figure11 is the office scenario (Table 11): an open area C1 with pads
+// P1-P4 and a noise source, office cells C2 (P6) and C3 (P5), and a coffee
+// room C4 into which P7 is carried mid-run. Every pad sends a 32 pps TCP
+// stream to the base of its cell.
+//
+// The layout places P7 at its *final* coffee-room position for relation
+// verification; experiments should start it at Figure11MoveSpec().Start and
+// schedule the move.
+func Figure11() Layout {
+	l := Layout{
+		Name: "figure11",
+		Doc:  "four-cell office: open area with noise, two offices, coffee room with mobile pad",
+		Stations: []StationSpec{
+			base("B1", 0, 0),
+			pad("P1", -3, 1), pad("P2", 0, -5), pad("P3", 4, 2), pad("P4", 5, -3),
+			base("B2", 20, 0), pad("P6", 14, -1),
+			base("B3", 16, -10), pad("P5", 12, -6),
+			base("B4", 0, 14), pad("P7", 0, 9),
+		},
+		Streams: []StreamSpec{
+			{From: "P1", To: "B1", Kind: core.TCP, Rate: 32}, {From: "P2", To: "B1", Kind: core.TCP, Rate: 32},
+			{From: "P3", To: "B1", Kind: core.TCP, Rate: 32}, {From: "P4", To: "B1", Kind: core.TCP, Rate: 32},
+			{From: "P5", To: "B3", Kind: core.TCP, Rate: 32}, {From: "P6", To: "B2", Kind: core.TCP, Rate: 32},
+			{From: "P7", To: "B4", Kind: core.TCP, Rate: 32},
+		},
+	}
+	inCell1 := []string{"P1", "P2", "P3", "P4"}
+	for i, a := range inCell1 {
+		l.Relations = append(l.Relations, mutual(a, "B1", true)...)
+		for _, b := range inCell1[i+1:] {
+			l.Relations = append(l.Relations, mutual(a, b, true)...)
+		}
+	}
+	l.Relations = append(l.Relations, concat(
+		mutual("P6", "B2", true), mutual("P6", "B1", false),
+		mutual("P5", "B3", true), mutual("P5", "B1", false),
+		mutual("P7", "B4", true), mutual("P7", "B1", false),
+		// "P7 can hear P1 and P3 in cell C1".
+		mutual("P7", "P1", true), mutual("P7", "P3", true),
+		mutual("P7", "P2", false), mutual("P7", "P4", false),
+		// "the pads P4, P5, and P6 can hear each other".
+		mutual("P4", "P5", true), mutual("P4", "P6", true), mutual("P5", "P6", true),
+		// Other cross-cell pairs stay isolated.
+		mutual("P5", "P3", false), mutual("P6", "P3", false),
+		mutual("B1", "B2", false), mutual("B1", "B3", false), mutual("B1", "B4", false),
+		mutual("B2", "B3", false),
+	)...)
+	return l
+}
+
+// Cell1NoiseRegion reports whether a position lies in Figure 11's open
+// area, where the electronic whiteboard induces a 1% packet error rate.
+func Cell1NoiseRegion(p geom.Vec3) bool {
+	dx, dy := p.X, p.Y
+	return dx*dx+dy*dy <= 8*8
+}
+
+// All returns every tabulated layout keyed by name.
+func All() map[string]Layout {
+	ls := []Layout{
+		Figure1(), Figure2(), Figure3(), Figure4(), Figure5(), Figure6(),
+		Figure7(), Figure8(), Figure9(), Figure10(), Figure11(),
+	}
+	out := make(map[string]Layout, len(ls))
+	for _, l := range ls {
+		out[l.Name] = l
+	}
+	return out
+}

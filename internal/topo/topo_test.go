@@ -1,0 +1,170 @@
+package topo
+
+import (
+	"testing"
+
+	"macaw/internal/core"
+	"macaw/internal/geom"
+	"macaw/internal/mac/macaw"
+)
+
+func macawDefaults() macaw.Options { return macaw.DefaultOptions() }
+
+// buildAndVerify constructs each layout on a fresh network and checks its
+// hearing relations against the physics.
+func buildAndVerify(t *testing.T, l Layout) *core.Network {
+	t.Helper()
+	n := core.NewNetwork(1)
+	if err := l.Build(n, core.MACAWFactory(macawDefaults())); err != nil {
+		t.Fatalf("%s: %v", l.Name, err)
+	}
+	return n
+}
+
+func TestAllLayoutsVerify(t *testing.T) {
+	for name, l := range All() {
+		l := l
+		t.Run(name, func(t *testing.T) {
+			buildAndVerify(t, l)
+		})
+	}
+}
+
+func TestAllReturnsElevenFigures(t *testing.T) {
+	if got := len(All()); got != 11 {
+		t.Fatalf("All() has %d layouts, want 11", got)
+	}
+}
+
+func TestStreamCountsMatchTables(t *testing.T) {
+	cases := map[string]int{
+		"figure1": 0, "figure2": 2, "figure3": 6, "figure4": 3,
+		"figure5": 2, "figure6": 2, "figure7": 2, "figure8": 6,
+		"figure9": 6, "figure10": 11, "figure11": 7,
+	}
+	for name, want := range cases {
+		if got := len(All()[name].Streams); got != want {
+			t.Errorf("%s has %d streams, want %d", name, got, want)
+		}
+	}
+}
+
+func TestFigure11UsesTCP(t *testing.T) {
+	for _, s := range Figure11().Streams {
+		if s.Kind != core.TCP {
+			t.Fatalf("figure11 stream %s-%s is %v, want TCP", s.From, s.To, s.Kind)
+		}
+	}
+}
+
+func TestOthersUseUDP(t *testing.T) {
+	for _, name := range []string{"figure2", "figure3", "figure4", "figure5", "figure6", "figure7", "figure9", "figure10"} {
+		for _, s := range All()[name].Streams {
+			if s.Kind != core.UDP {
+				t.Fatalf("%s stream %s-%s is %v, want UDP", name, s.From, s.To, s.Kind)
+			}
+		}
+	}
+}
+
+func TestRatesMatchPaper(t *testing.T) {
+	for _, s := range Figure2().Streams {
+		if s.Rate != 64 {
+			t.Fatal("figure2 rate must be 64pps")
+		}
+	}
+	for _, s := range Figure3().Streams {
+		if s.Rate != 32 {
+			t.Fatal("figure3 rate must be 32pps")
+		}
+	}
+	for _, s := range Figure10().Streams {
+		if s.Rate != 32 {
+			t.Fatal("figure10 rate must be 32pps")
+		}
+	}
+}
+
+func TestBuildRejectsUnknownStreamStation(t *testing.T) {
+	l := Layout{
+		Name:     "bogus",
+		Stations: []StationSpec{pad("A", 0, 0)},
+		Streams:  []StreamSpec{{From: "A", To: "Z", Kind: core.UDP, Rate: 1}},
+	}
+	n := core.NewNetwork(1)
+	if err := l.Build(n, core.MACAFactory()); err == nil {
+		t.Fatal("unknown station accepted")
+	}
+}
+
+func TestVerifyDetectsViolation(t *testing.T) {
+	l := Layout{
+		Name: "broken",
+		Stations: []StationSpec{
+			pad("A", 0, 0), pad("B", 50, 0),
+		},
+		Relations: mutual("A", "B", true), // physically false
+	}
+	n := core.NewNetwork(1)
+	if err := l.Build(n, core.MACAFactory()); err == nil {
+		t.Fatal("violated relation not reported")
+	}
+}
+
+func TestVerifyUnknownRelationStation(t *testing.T) {
+	l := Layout{
+		Name:      "unknownrel",
+		Stations:  []StationSpec{pad("A", 0, 0)},
+		Relations: []Relation{{"A", "Z", true}},
+	}
+	n := core.NewNetwork(1)
+	if err := l.Build(n, core.MACAFactory()); err == nil {
+		t.Fatal("unknown relation station accepted")
+	}
+}
+
+func TestFigure11MoveSpec(t *testing.T) {
+	mv := Figure11MoveSpec()
+	// The start must be out of range of everything in the office.
+	n := buildAndVerify(t, Figure11())
+	p7 := n.Station("P7")
+	p7.Radio().SetPos(mv.Start)
+	for _, st := range n.Stations() {
+		if st == p7 {
+			continue
+		}
+		if n.Medium.InRange(p7.Radio(), st.Radio()) {
+			t.Fatalf("P7 at its start position hears %s", st.Name())
+		}
+	}
+	// The destination is the verified coffee-room position.
+	if mv.Dest != geom.V(0, 9, 6) {
+		t.Fatalf("Dest = %v", mv.Dest)
+	}
+}
+
+func TestCell1NoiseRegion(t *testing.T) {
+	l := Figure11()
+	in := map[string]bool{
+		"B1": true, "P1": true, "P2": true, "P3": true, "P4": true,
+		"B2": false, "B3": false, "B4": false, "P5": false, "P6": false, "P7": false,
+	}
+	for _, s := range l.Stations {
+		if got := Cell1NoiseRegion(s.Pos); got != in[s.Name] {
+			t.Errorf("Cell1NoiseRegion(%s at %v) = %v, want %v", s.Name, s.Pos, got, in[s.Name])
+		}
+	}
+}
+
+func TestBaseHeights(t *testing.T) {
+	for name, l := range All() {
+		for _, s := range l.Stations {
+			if s.Base && s.Pos.Z != 12 {
+				t.Errorf("%s: base %s at z=%v, want 12", name, s.Name, s.Pos.Z)
+			}
+			if !s.Base && s.Pos.Z != 6 {
+				t.Errorf("%s: pad %s at z=%v, want 6 (6ft below bases)", name, s.Name, s.Pos.Z)
+			}
+		}
+	}
+}

@@ -1,0 +1,157 @@
+// Package trace provides structured packet-level tracing for simulation
+// runs: every clean reception (including overhears), every corrupted
+// reception at an intended destination, and every carrier transition can be
+// recorded per station and rendered as text or JSON, or replayed through
+// filters in tests.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"macaw/internal/core"
+	"macaw/internal/frame"
+	"macaw/internal/phy"
+	"macaw/internal/sim"
+)
+
+// Kind classifies a trace event.
+type Kind string
+
+// Event kinds.
+const (
+	// Receive is a cleanly received frame (including overhears).
+	Receive Kind = "rx"
+	// Corrupt is a reception destroyed by collision or noise, reported
+	// only at the frame's intended destination.
+	Corrupt Kind = "lost"
+	// Carrier is a carrier-sense transition.
+	Carrier Kind = "carrier"
+)
+
+// Event is one recorded occurrence.
+type Event struct {
+	At      sim.Time     `json:"at"`
+	Station string       `json:"station"`
+	Kind    Kind         `json:"kind"`
+	Type    frame.Type   `json:"type,omitempty"`
+	Src     frame.NodeID `json:"src,omitempty"`
+	Dst     frame.NodeID `json:"dst,omitempty"`
+	Seq     uint32       `json:"seq,omitempty"`
+	Busy    bool         `json:"busy,omitempty"`
+}
+
+// String renders the event as one trace line.
+func (e Event) String() string {
+	switch e.Kind {
+	case Carrier:
+		return fmt.Sprintf("%12.6f  %-4s carrier busy=%v", e.At.Seconds(), e.Station, e.Busy)
+	case Corrupt:
+		return fmt.Sprintf("%12.6f  %-4s LOST %s %v->%v seq=%d", e.At.Seconds(), e.Station, e.Type, e.Src, e.Dst, e.Seq)
+	default:
+		return fmt.Sprintf("%12.6f  %-4s rx   %s %v->%v seq=%d", e.At.Seconds(), e.Station, e.Type, e.Src, e.Dst, e.Seq)
+	}
+}
+
+// Recorder collects events from any number of stations.
+type Recorder struct {
+	s *sim.Simulator
+	// From/To bound the recording window; a zero To means unbounded.
+	From, To sim.Time
+	// Carrier enables carrier-transition events (noisy; off by default).
+	Carrier bool
+	events  []Event
+	// Sink, if non-nil, receives each event line as it is recorded.
+	Sink io.Writer
+}
+
+// NewRecorder returns a recorder bound to the simulator clock.
+func NewRecorder(s *sim.Simulator) *Recorder { return &Recorder{s: s} }
+
+// Events returns the recorded events in order.
+func (r *Recorder) Events() []Event { return r.events }
+
+// Filter returns the recorded events matching keep.
+func (r *Recorder) Filter(keep func(Event) bool) []Event {
+	var out []Event
+	for _, e := range r.events {
+		if keep(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Count returns how many recorded events match keep.
+func (r *Recorder) Count(keep func(Event) bool) int { return len(r.Filter(keep)) }
+
+// WriteJSON writes the recorded events as a JSON array.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.events)
+}
+
+// WriteText writes the recorded events as one line each.
+func (r *Recorder) WriteText(w io.Writer) error {
+	for _, e := range r.events {
+		if _, err := fmt.Fprintln(w, e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *Recorder) record(e Event) {
+	if r.s.Now() < r.From || (r.To > 0 && r.s.Now() >= r.To) {
+		return
+	}
+	r.events = append(r.events, e)
+	if r.Sink != nil {
+		fmt.Fprintln(r.Sink, e)
+	}
+}
+
+// Attach interposes the recorder between a station's radio and its MAC. It
+// must be called after the station's protocol is constructed (the factory
+// installs the MAC as the radio handler).
+func (r *Recorder) Attach(st *core.Station) {
+	w := &wrapper{rec: r, name: st.Name(), inner: st.MAC()}
+	st.Radio().SetHandler(w)
+}
+
+// AttachAll attaches the recorder to every station of the network.
+func (r *Recorder) AttachAll(n *core.Network) {
+	for _, st := range n.Stations() {
+		r.Attach(st)
+	}
+}
+
+// wrapper forwards physical-layer indications, recording them.
+type wrapper struct {
+	rec   *Recorder
+	name  string
+	inner phy.Handler
+}
+
+func (w *wrapper) RadioReceive(f *frame.Frame) {
+	w.rec.record(Event{At: w.rec.s.Now(), Station: w.name, Kind: Receive,
+		Type: f.Type, Src: f.Src, Dst: f.Dst, Seq: f.Seq})
+	w.inner.RadioReceive(f)
+}
+
+func (w *wrapper) RadioCarrier(busy bool) {
+	if w.rec.Carrier {
+		w.rec.record(Event{At: w.rec.s.Now(), Station: w.name, Kind: Carrier, Busy: busy})
+	}
+	w.inner.RadioCarrier(busy)
+}
+
+func (w *wrapper) RadioCorrupted(f *frame.Frame) {
+	w.rec.record(Event{At: w.rec.s.Now(), Station: w.name, Kind: Corrupt,
+		Type: f.Type, Src: f.Src, Dst: f.Dst, Seq: f.Seq})
+	if obs, ok := w.inner.(phy.CorruptionObserver); ok {
+		obs.RadioCorrupted(f)
+	}
+}

@@ -1,0 +1,151 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"macaw/internal/core"
+	"macaw/internal/frame"
+	"macaw/internal/geom"
+	"macaw/internal/mac/macaw"
+	"macaw/internal/sim"
+)
+
+func smallNet(t *testing.T) (*core.Network, *Recorder) {
+	t.Helper()
+	n := core.NewNetwork(1)
+	f := core.MACAWFactory(macaw.DefaultOptions())
+	p := n.AddStation("P", geom.V(-4, 0, 6), f)
+	b := n.AddStation("B", geom.V(0, 0, 12), f)
+	n.AddStream(p, b, core.UDP, 16)
+	r := NewRecorder(n.Sim)
+	r.AttachAll(n)
+	return n, r
+}
+
+func TestRecordsFullExchange(t *testing.T) {
+	n, r := smallNet(t)
+	n.Run(2*sim.Second, 0)
+	types := map[frame.Type]int{}
+	for _, e := range r.Events() {
+		if e.Kind == Receive && e.Station == "B" && e.Dst == 2 {
+			types[e.Type]++
+		}
+	}
+	for _, ty := range []frame.Type{frame.RTS, frame.DS, frame.DATA} {
+		if types[ty] == 0 {
+			t.Fatalf("no %s recorded at B; got %v", ty, types)
+		}
+	}
+	// The pad must have received CTS and ACK frames.
+	ctsAtP := r.Count(func(e Event) bool {
+		return e.Station == "P" && e.Kind == Receive && e.Type == frame.CTS
+	})
+	if ctsAtP == 0 {
+		t.Fatal("no CTS recorded at P")
+	}
+}
+
+func TestWindowBounds(t *testing.T) {
+	n, r := smallNet(t)
+	r.From = 1 * sim.Second
+	r.To = 1500 * sim.Millisecond
+	n.Run(2*sim.Second, 0)
+	for _, e := range r.Events() {
+		if e.At < r.From || e.At >= r.To {
+			t.Fatalf("event at %v outside window", e.At)
+		}
+	}
+	if len(r.Events()) == 0 {
+		t.Fatal("window recorded nothing")
+	}
+}
+
+func TestCarrierEventsOptIn(t *testing.T) {
+	n, r := smallNet(t)
+	n.Run(500*sim.Millisecond, 0)
+	if r.Count(func(e Event) bool { return e.Kind == Carrier }) != 0 {
+		t.Fatal("carrier events recorded without opt-in")
+	}
+
+	n2, r2 := smallNet(t)
+	r2.Carrier = true
+	n2.Run(500*sim.Millisecond, 0)
+	if r2.Count(func(e Event) bool { return e.Kind == Carrier }) == 0 {
+		t.Fatal("no carrier events with opt-in")
+	}
+}
+
+func TestCorruptionRecorded(t *testing.T) {
+	// Two hidden pads collide at the base.
+	n := core.NewNetwork(2)
+	f := core.MACAFactory()
+	a := n.AddStation("A", geom.V(0, 0, 6), f)
+	b := n.AddStation("B", geom.V(8, 0, 6), f)
+	c := n.AddStation("C", geom.V(16, 0, 6), f)
+	n.AddStream(a, b, core.UDP, 40)
+	n.AddStream(c, b, core.UDP, 40)
+	r := NewRecorder(n.Sim)
+	r.AttachAll(n)
+	n.Run(10*sim.Second, 0)
+	if r.Count(func(e Event) bool { return e.Kind == Corrupt && e.Station == "B" }) == 0 {
+		t.Fatal("no corrupted receptions recorded at the hidden-terminal receiver")
+	}
+}
+
+func TestTextAndJSONOutput(t *testing.T) {
+	n, r := smallNet(t)
+	n.Run(200*sim.Millisecond, 0)
+	var txt bytes.Buffer
+	if err := r.WriteText(&txt); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(txt.String(), "rx") {
+		t.Fatalf("text output missing rx lines:\n%s", txt.String())
+	}
+	var js bytes.Buffer
+	if err := r.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	var back []Event
+	if err := json.Unmarshal(js.Bytes(), &back); err != nil {
+		t.Fatalf("JSON round trip: %v", err)
+	}
+	if len(back) != len(r.Events()) {
+		t.Fatalf("JSON round trip lost events: %d vs %d", len(back), len(r.Events()))
+	}
+}
+
+func TestSinkStreamsLines(t *testing.T) {
+	n := core.NewNetwork(1)
+	f := core.MACAWFactory(macaw.DefaultOptions())
+	p := n.AddStation("P", geom.V(-4, 0, 6), f)
+	b := n.AddStation("B", geom.V(0, 0, 12), f)
+	n.AddStream(p, b, core.UDP, 16)
+	r := NewRecorder(n.Sim)
+	var sink bytes.Buffer
+	r.Sink = &sink
+	r.AttachAll(n)
+	n.Run(200*sim.Millisecond, 0)
+	if sink.Len() == 0 {
+		t.Fatal("sink received nothing")
+	}
+}
+
+func TestEventStrings(t *testing.T) {
+	e := Event{At: sim.Second, Station: "P1", Kind: Receive, Type: frame.RTS, Src: 1, Dst: 2, Seq: 3}
+	if !strings.Contains(e.String(), "rx") || !strings.Contains(e.String(), "RTS") {
+		t.Fatalf("rx string: %q", e.String())
+	}
+	e.Kind = Corrupt
+	if !strings.Contains(e.String(), "LOST") {
+		t.Fatalf("lost string: %q", e.String())
+	}
+	e.Kind = Carrier
+	e.Busy = true
+	if !strings.Contains(e.String(), "busy=true") {
+		t.Fatalf("carrier string: %q", e.String())
+	}
+}

@@ -1,0 +1,147 @@
+// Package traffic provides the workload generators of the paper's
+// simulator: constant-bit-rate sources ("the devices generate data at a
+// constant rate of either 32 or 64 packets per second") plus a Poisson
+// source for robustness experiments.
+package traffic
+
+import (
+	"math"
+	"math/rand"
+
+	"macaw/internal/sim"
+)
+
+// Generator produces application packets by invoking an offer callback.
+type Generator interface {
+	// Start begins generation at time t.
+	Start(t sim.Time)
+	// Stop ceases generation at time t.
+	Stop(t sim.Time)
+	// Generated reports the number of offers made so far.
+	Generated() int
+}
+
+// CBR is a constant-bit-rate source emitting one packet every 1/rate
+// seconds. A random initial phase (drawn from rng) decorrelates multiple
+// CBR sources that would otherwise fire in lockstep.
+type CBR struct {
+	s        *sim.Simulator
+	interval sim.Duration
+	phase    sim.Duration
+	offer    func()
+	count    int
+	running  bool
+	stopAt   sim.Time
+	hasStop  bool
+	ev       *sim.Event
+}
+
+// NewCBR returns a CBR source at rate packets/second calling offer for each
+// packet. rng supplies the initial phase; it may be nil for phase zero.
+func NewCBR(s *sim.Simulator, rate float64, rng *rand.Rand, offer func()) *CBR {
+	if rate <= 0 {
+		panic("traffic: non-positive CBR rate")
+	}
+	interval := sim.Duration(math.Round(float64(sim.Second) / rate))
+	c := &CBR{s: s, interval: interval, offer: offer}
+	if rng != nil {
+		c.phase = sim.Duration(rng.Int63n(int64(interval)))
+	}
+	return c
+}
+
+// Interval returns the inter-packet gap.
+func (c *CBR) Interval() sim.Duration { return c.interval }
+
+// Generated implements Generator.
+func (c *CBR) Generated() int { return c.count }
+
+// Start implements Generator.
+func (c *CBR) Start(t sim.Time) {
+	if c.running {
+		return
+	}
+	c.running = true
+	c.ev = c.s.At(t+c.phase, c.tick)
+}
+
+// Stop implements Generator.
+func (c *CBR) Stop(t sim.Time) {
+	c.stopAt = t
+	c.hasStop = true
+	if t <= c.s.Now() {
+		c.running = false
+		c.ev.Cancel()
+	}
+}
+
+func (c *CBR) tick() {
+	if !c.running || (c.hasStop && c.s.Now() >= c.stopAt) {
+		c.running = false
+		return
+	}
+	c.count++
+	c.offer()
+	c.ev = c.s.After(c.interval, c.tick)
+}
+
+// Poisson emits packets with exponentially distributed gaps at the given
+// mean rate.
+type Poisson struct {
+	s       *sim.Simulator
+	rate    float64
+	rng     *rand.Rand
+	offer   func()
+	count   int
+	running bool
+	stopAt  sim.Time
+	hasStop bool
+	ev      *sim.Event
+}
+
+// NewPoisson returns a Poisson source at mean rate packets/second.
+func NewPoisson(s *sim.Simulator, rate float64, rng *rand.Rand, offer func()) *Poisson {
+	if rate <= 0 {
+		panic("traffic: non-positive Poisson rate")
+	}
+	if rng == nil {
+		panic("traffic: Poisson requires an rng")
+	}
+	return &Poisson{s: s, rate: rate, rng: rng, offer: offer}
+}
+
+// Generated implements Generator.
+func (p *Poisson) Generated() int { return p.count }
+
+// Start implements Generator.
+func (p *Poisson) Start(t sim.Time) {
+	if p.running {
+		return
+	}
+	p.running = true
+	p.ev = p.s.At(t+p.gap(), p.tick)
+}
+
+// Stop implements Generator.
+func (p *Poisson) Stop(t sim.Time) {
+	p.stopAt = t
+	p.hasStop = true
+	if t <= p.s.Now() {
+		p.running = false
+		p.ev.Cancel()
+	}
+}
+
+func (p *Poisson) gap() sim.Duration {
+	return sim.Duration(p.rng.ExpFloat64() / p.rate * float64(sim.Second))
+}
+
+func (p *Poisson) tick() {
+	if !p.running || (p.hasStop && p.s.Now() >= p.stopAt) {
+		p.running = false
+		return
+	}
+	p.count++
+	p.offer()
+	p.ev = p.s.After(p.gap(), p.tick)
+}
