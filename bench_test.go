@@ -1,6 +1,7 @@
 package macaw_test
 
 import (
+	"runtime"
 	"testing"
 
 	"macaw/internal/backoff"
@@ -39,6 +40,39 @@ func BenchmarkTable8(b *testing.B)  { benchTable(b, experiments.Table8, 1) }
 func BenchmarkTable9(b *testing.B)  { benchTable(b, experiments.Table9, 1) }
 func BenchmarkTable10(b *testing.B) { benchTable(b, experiments.Table10, 1) }
 func BenchmarkTable11(b *testing.B) { benchTable(b, experiments.Table11, 1) }
+
+// benchAllTables regenerates every paper table per iteration, serially for
+// jobs <= 1 or on a jobs-wide worker pool otherwise. The ns/op ratio between
+// the serial and parallel variants is the runner's wall-clock speedup; the
+// results themselves are identical by construction (TestParallelMatchesSerial).
+func benchAllTables(b *testing.B, jobs int) {
+	b.Helper()
+	cfg := experiments.Bench()
+	gens := experiments.All()
+	var last experiments.Table
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		if jobs <= 1 {
+			for _, g := range gens {
+				last = g.Run(cfg)
+			}
+		} else {
+			tabs := experiments.NewRunner(jobs).Tables(gens, cfg)
+			last = tabs[len(tabs)-1]
+		}
+	}
+	b.ReportMetric(last.MeasuredTotal(1), "pps")
+}
+
+func BenchmarkAllTablesSerial(b *testing.B) { benchAllTables(b, 1) }
+
+func BenchmarkAllTablesParallel(b *testing.B) {
+	jobs := runtime.GOMAXPROCS(0)
+	if jobs < 4 {
+		jobs = 4
+	}
+	benchAllTables(b, jobs)
+}
 
 // singleStream runs one saturating UDP pad-to-base stream under the given
 // factory and reports its throughput.

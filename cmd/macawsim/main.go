@@ -2,11 +2,13 @@
 //
 // Usage:
 //
-//	macawsim [-table table1..table11|all] [-total SECONDS] [-warmup SECONDS] [-seed N] [-paper]
+//	macawsim [-table table1..table11|all] [-total SECONDS] [-warmup SECONDS] [-seed N] [-paper] [-jobs N]
 //
 // Each table prints the paper's reported packets-per-second next to this
 // reproduction's measurements. -paper selects the paper's 500 s run length;
-// the default is a faster 120 s run that exhibits the same shapes.
+// the default is a faster 120 s run that exhibits the same shapes. -jobs N
+// runs the independent simulations on N workers; every run is seeded before
+// dispatch, so the output is byte-identical to the serial (-jobs 1) path.
 package main
 
 import (
@@ -26,6 +28,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	paper := flag.Bool("paper", false, "use the paper's 500s/50s run length")
 	format := flag.String("format", "text", "output format: text or csv")
+	jobs := flag.Int("jobs", 1, "number of simulations to run concurrently (output is identical for any value)")
 	flag.Parse()
 
 	cfg := experiments.Quick()
@@ -72,16 +75,26 @@ func main() {
 		gens = []experiments.Generator{g}
 	}
 
-	if *format == "csv" {
+	// The serial and parallel paths produce the same tables in the same
+	// order; -jobs only changes how many simulations are in flight.
+	var tabs []experiments.Table
+	if *jobs > 1 {
+		tabs = experiments.NewRunner(*jobs).Tables(gens, cfg)
+	} else {
 		for _, g := range gens {
-			tab := g.Run(cfg)
+			tabs = append(tabs, g.Run(cfg))
+		}
+	}
+
+	if *format == "csv" {
+		for _, tab := range tabs {
 			fmt.Printf("# %s\n%s\n", tab.ID, tab.CSV())
 		}
 		return
 	}
 	fmt.Printf("MACAW reproduction — %gs runs, %gs warmup, seed %d\n\n",
 		cfg.Total.Seconds(), cfg.Warmup.Seconds(), cfg.Seed)
-	for _, g := range gens {
-		fmt.Println(g.Run(cfg).Render())
+	for _, tab := range tabs {
+		fmt.Println(tab.Render())
 	}
 }

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"macaw/internal/sim"
+)
+
+// detCfg is long enough for every table's dynamics to produce non-trivial
+// numbers while keeping the full 11-table sweep fast enough to run twice.
+func detCfg() RunConfig {
+	return RunConfig{Total: 8 * sim.Second, Warmup: 2 * sim.Second, Seed: 7}
+}
+
+// renderAll renders every paper table in order into one string.
+func renderAll(tabs []Table) string {
+	var b strings.Builder
+	for _, t := range tabs {
+		b.WriteString(t.Render())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// runSerial regenerates Table1..Table11 inline, the pre-runner way.
+func runSerial(cfg RunConfig) []Table {
+	gens := All()
+	tabs := make([]Table, 0, len(gens))
+	for _, g := range gens {
+		tabs = append(tabs, g.Run(cfg))
+	}
+	return tabs
+}
+
+// TestSerialRunsAreReproducible asserts that two serial sweeps at the same
+// seed render byte-identically: every run is a pure function of its config.
+func TestSerialRunsAreReproducible(t *testing.T) {
+	first := renderAll(runSerial(detCfg()))
+	second := renderAll(runSerial(detCfg()))
+	if first != second {
+		t.Fatalf("two serial runs at the same seed differ:\n--- first ---\n%s\n--- second ---\n%s", first, second)
+	}
+}
+
+// TestParallelMatchesSerial asserts that the worker-pool runner produces
+// byte-identical rendered tables to the serial path at the same seed —
+// the property cmd/macawsim's -jobs flag is allowed to assume.
+func TestParallelMatchesSerial(t *testing.T) {
+	serial := renderAll(runSerial(detCfg()))
+	parallel := renderAll(NewRunner(4).Tables(All(), detCfg()))
+	if serial != parallel {
+		t.Fatalf("parallel output differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+}

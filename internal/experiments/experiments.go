@@ -22,6 +22,10 @@ type RunConfig struct {
 	Total  sim.Duration
 	Warmup sim.Duration
 	Seed   int64
+
+	// runner, when set via WithRunner, executes the independent runs
+	// inside each generator on a worker pool instead of inline.
+	runner *Runner
 }
 
 // Paper returns the paper's run length.

@@ -36,21 +36,31 @@ func ExtAckSchemes(cfg RunConfig) Table {
 	for i, p := range rates {
 		rows[i] = fmt.Sprintf("p=%g", p)
 	}
+	// Submit all scheme x rate runs before collecting any.
+	futs := make([][]*future[float64], len(schemes))
+	for si, sc := range schemes {
+		futs[si] = make([]*future[float64], len(rates))
+		for pi, p := range rates {
+			opt, p := sc.opt, p
+			futs[si][pi] = goFuture(cfg, func() float64 {
+				n := core.NewNetwork(cfg.Seed)
+				f := core.MACAWFactory(opt)
+				pad := n.AddStation("P", geom.V(-4, 0, 6), f)
+				base := n.AddStation("B", geom.V(0, 0, 12), f)
+				n.AddStream(pad, base, core.UDP, 64)
+				if p > 0 {
+					n.Medium.SetNoise(phy.DestLoss{P: p})
+				}
+				return n.Run(cfg.Total, cfg.Warmup).PPS("P-B")
+			})
+		}
+	}
 	var cols []Column
-	for _, sc := range schemes {
+	for si, sc := range schemes {
 		var r core.Results
-		for _, p := range rates {
-			n := core.NewNetwork(cfg.Seed)
-			f := core.MACAWFactory(sc.opt)
-			pad := n.AddStation("P", geom.V(-4, 0, 6), f)
-			base := n.AddStation("B", geom.V(0, 0, 12), f)
-			n.AddStream(pad, base, core.UDP, 64)
-			if p > 0 {
-				n.Medium.SetNoise(phy.DestLoss{P: p})
-			}
-			res := n.Run(cfg.Total, cfg.Warmup)
+		for pi, p := range rates {
 			r.Streams = append(r.Streams, core.StreamResult{
-				Name: fmt.Sprintf("p=%g", p), PPS: res.PPS("P-B"),
+				Name: fmt.Sprintf("p=%g", p), PPS: futs[si][pi].wait(),
 			})
 		}
 		cols = append(cols, Column{Name: sc.name, Results: r})
@@ -69,17 +79,17 @@ func ExtAckSchemes(cfg RunConfig) Table {
 func ExtCarrierSense(cfg RunConfig) Table {
 	l := topo.Figure5()
 	pol := singlePolicy(backoff.NewMILD(), true)
-	ds := runLayout(cfg, l, variant(macaw.Options{Exchange: macaw.Full, PerStream: true}, pol))
-	cs := runLayout(cfg, l, variant(macaw.Options{Exchange: macaw.WithACK, PerStream: true, CarrierSense: true}, pol))
-	both := runLayout(cfg, l, variant(macaw.Options{Exchange: macaw.Full, PerStream: true, CarrierSense: true}, pol))
+	ds := cfg.goRun(l, variant(macaw.Options{Exchange: macaw.Full, PerStream: true}, pol))
+	cs := cfg.goRun(l, variant(macaw.Options{Exchange: macaw.WithACK, PerStream: true, CarrierSense: true}, pol))
+	both := cfg.goRun(l, variant(macaw.Options{Exchange: macaw.Full, PerStream: true, CarrierSense: true}, pol))
 	return Table{
 		ID: "ext-carriersense", Figure: l.Name,
 		Title:   "§3.3.2 alternatives for exposed terminals: DS packet vs carrier sense vs both",
 		Streams: streamNames(l),
 		Columns: []Column{
-			{Name: "DS", Results: ds},
-			{Name: "carrier sense", Results: cs},
-			{Name: "DS + carrier sense", Results: both},
+			{Name: "DS", Results: ds.wait()},
+			{Name: "carrier sense", Results: cs.wait()},
+			{Name: "DS + carrier sense", Results: both.wait()},
 		},
 		Notes: "the paper chose DS to avoid carrier-sense hardware; 'one could equivalently use full carrier-sense, which also inhibits RTS-RTS collisions'",
 	}
@@ -92,10 +102,10 @@ func ExtCarrierSense(cfg RunConfig) Table {
 // separate.
 func ExtLeakage(cfg RunConfig) Table {
 	l := topo.Figure8()
-	single := runLayout(cfg, l, variant(
+	single := cfg.goRun(l, variant(
 		macaw.Options{Exchange: macaw.Full, PerStream: true, RRTS: true},
 		singlePolicy(backoff.NewMILD(), true)))
-	perDest := runLayout(cfg, l, variant(
+	perDest := cfg.goRun(l, variant(
 		macaw.Options{Exchange: macaw.Full, PerStream: true, RRTS: true},
 		perDestPolicy(backoff.NewMILD())))
 	return Table{
@@ -103,8 +113,8 @@ func ExtLeakage(cfg RunConfig) Table {
 		Title:   "§3.4 backoff leakage across the cell border: single copied counter vs per-destination",
 		Streams: streamNames(l),
 		Columns: []Column{
-			{Name: "Single+copy", Results: single},
-			{Name: "Per-destination", Results: perDest},
+			{Name: "Single+copy", Results: single.wait()},
+			{Name: "Per-destination", Results: perDest.wait()},
 		},
 		Notes: "the claim under test is C2's throughput (P5-B2, P6-B2): leaked C1 counters idle the uncongested cell",
 	}
@@ -181,28 +191,34 @@ func ExtMulticast(cfg RunConfig) MulticastResult {
 // stations alive and with one pad switched off mid-run (the paper's stated
 // worry: "frequent token hand-offs or recovery").
 func ExtTokenVsMACAW(cfg RunConfig) Table {
-	run := func(f core.MACFactory, kill bool) core.Results {
-		l := topo.Figure3()
-		n := core.NewNetwork(cfg.Seed)
-		if err := l.Build(n, f); err != nil {
-			panic(err)
-		}
-		if kill {
-			n.PowerOff(n.Station("P6"), cfg.Warmup/2)
-		}
-		return n.Run(cfg.Total, cfg.Warmup)
+	run := func(f core.MACFactory, kill bool) *future[core.Results] {
+		return goFuture(cfg, func() core.Results {
+			l := topo.Figure3()
+			n := core.NewNetwork(cfg.Seed)
+			if err := l.Build(n, f); err != nil {
+				panic(err)
+			}
+			if kill {
+				n.PowerOff(n.Station("P6"), cfg.Warmup/2)
+			}
+			return n.Run(cfg.Total, cfg.Warmup)
+		})
 	}
 	tokenF := core.TokenFactory(token.Options{Ring: core.RingOf(7)})
 	macawF := core.MACAWFactory(macaw.DefaultOptions())
+	tokenAlive := run(tokenF, false)
+	macawAlive := run(macawF, false)
+	tokenDead := run(tokenF, true)
+	macawDead := run(macawF, true)
 	return Table{
 		ID: "ext-token", Figure: "figure3",
 		Title:   "future work implemented: token passing vs MACAW, healthy and with a dead pad",
 		Streams: streamNames(topo.Figure3()),
 		Columns: []Column{
-			{Name: "token", Results: run(tokenF, false)},
-			{Name: "MACAW", Results: run(macawF, false)},
-			{Name: "token, P6 dead", Results: run(tokenF, true)},
-			{Name: "MACAW, P6 dead", Results: run(macawF, true)},
+			{Name: "token", Results: tokenAlive.wait()},
+			{Name: "MACAW", Results: macawAlive.wait()},
+			{Name: "token, P6 dead", Results: tokenDead.wait()},
+			{Name: "MACAW, P6 dead", Results: macawDead.wait()},
 		},
 		Notes: "token access is collision-free and exactly fair but pays hand-off overhead per rotation and recovery timeouts when members die",
 	}
@@ -241,32 +257,46 @@ func ExtLoadSweep(cfg RunConfig) Table {
 	for _, r := range rates {
 		rows = append(rows, fmt.Sprintf("delay@%gx4", r))
 	}
-	var cols []Column
-	for _, p := range protos {
-		var res core.Results
-		for _, r := range rates {
-			n := core.NewNetwork(cfg.Seed)
-			f := p.f()
-			base := n.AddStation("B", geom.V(0, 0, 12), f)
-			for i := 0; i < 4; i++ {
-				pad := n.AddStation(fmt.Sprintf("P%d", i+1), geom.V(4-float64(2*i), 3, 6), f)
-				n.AddStream(pad, base, core.UDP, r)
-			}
-			out := n.Run(cfg.Total, cfg.Warmup)
-			var meanDelay float64
-			var nd int
-			for _, s := range out.Streams {
-				if s.MeanDelay > 0 {
-					meanDelay += s.MeanDelay.Seconds() * 1000
-					nd++
+	// One future per protocol x rate point, all submitted before any wait;
+	// each yields the (carried load, mean delay) pair for that point.
+	type point struct{ pps, delayMS float64 }
+	futs := make([][]*future[point], len(protos))
+	for pi, p := range protos {
+		futs[pi] = make([]*future[point], len(rates))
+		for ri, r := range rates {
+			mk, r := p.f, r
+			futs[pi][ri] = goFuture(cfg, func() point {
+				n := core.NewNetwork(cfg.Seed)
+				f := mk()
+				base := n.AddStation("B", geom.V(0, 0, 12), f)
+				for i := 0; i < 4; i++ {
+					pad := n.AddStation(fmt.Sprintf("P%d", i+1), geom.V(4-float64(2*i), 3, 6), f)
+					n.AddStream(pad, base, core.UDP, r)
 				}
-			}
-			if nd > 0 {
-				meanDelay /= float64(nd)
-			}
+				out := n.Run(cfg.Total, cfg.Warmup)
+				var meanDelay float64
+				var nd int
+				for _, s := range out.Streams {
+					if s.MeanDelay > 0 {
+						meanDelay += s.MeanDelay.Seconds() * 1000
+						nd++
+					}
+				}
+				if nd > 0 {
+					meanDelay /= float64(nd)
+				}
+				return point{pps: out.TotalPPS(), delayMS: meanDelay}
+			})
+		}
+	}
+	var cols []Column
+	for pi, p := range protos {
+		var res core.Results
+		for ri, r := range rates {
+			pt := futs[pi][ri].wait()
 			res.Streams = append(res.Streams,
-				core.StreamResult{Name: fmt.Sprintf("offered=%gx4", r), PPS: out.TotalPPS()},
-				core.StreamResult{Name: fmt.Sprintf("delay@%gx4", r), PPS: meanDelay},
+				core.StreamResult{Name: fmt.Sprintf("offered=%gx4", r), PPS: pt.pps},
+				core.StreamResult{Name: fmt.Sprintf("delay@%gx4", r), PPS: pt.delayMS},
 			)
 		}
 		cols = append(cols, Column{Name: p.name, Results: res})

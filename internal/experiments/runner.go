@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"sync"
+
+	"macaw/internal/core"
+	"macaw/internal/topo"
+)
+
+// Runner executes independent simulation runs on a bounded pool of worker
+// goroutines. Every run builds its own core.Network from the RunConfig seed
+// — its own Simulator, medium, and per-station RNG streams — so runs share
+// no mutable state and each is a pure function of (layout, factory, config).
+// Parallel execution therefore changes only wall-clock order: the results,
+// and any output rendered from them, are byte-identical to a serial run.
+type Runner struct {
+	// sem bounds the number of runs executing at once. Generators submit
+	// every run before waiting on the first, and waiters never hold a
+	// slot, so the pool cannot deadlock however small it is.
+	sem chan struct{}
+}
+
+// NewRunner returns a Runner executing at most jobs runs concurrently.
+// jobs < 1 is treated as 1.
+func NewRunner(jobs int) *Runner {
+	if jobs < 1 {
+		jobs = 1
+	}
+	return &Runner{sem: make(chan struct{}, jobs)}
+}
+
+// WithRunner returns a copy of cfg whose runs are dispatched through r. A
+// nil r keeps the serial path: runs execute inline at their submission
+// point, in exactly the order the generator code states them.
+func (cfg RunConfig) WithRunner(r *Runner) RunConfig {
+	cfg.runner = r
+	return cfg
+}
+
+// future is the pending value of a dispatched run.
+type future[T any] struct {
+	done chan struct{}
+	val  T
+}
+
+// wait blocks until the run completes and returns its value.
+func (f *future[T]) wait() T {
+	if f.done != nil {
+		<-f.done
+	}
+	return f.val
+}
+
+// goFuture dispatches fn according to cfg. With no runner it calls fn inline
+// and returns an already-resolved future — the serial path is the exact
+// pre-runner execution order, not a degenerate pool. With a runner, fn runs
+// on a pooled goroutine; the caller keeps submitting and waits later.
+func goFuture[T any](cfg RunConfig, fn func() T) *future[T] {
+	if cfg.runner == nil {
+		return &future[T]{val: fn()}
+	}
+	f := &future[T]{done: make(chan struct{})}
+	go func() {
+		cfg.runner.sem <- struct{}{}
+		defer func() {
+			<-cfg.runner.sem
+			close(f.done)
+		}()
+		f.val = fn()
+	}()
+	return f
+}
+
+// goRun dispatches the standard build-layout-and-run shape (the future twin
+// of runLayout).
+func (cfg RunConfig) goRun(l topo.Layout, f core.MACFactory, mods ...func(*core.Network)) *future[core.Results] {
+	return goFuture(cfg, func() core.Results { return runLayout(cfg, l, f, mods...) })
+}
+
+// Tables runs the generators — concurrently across and within tables — and
+// returns the finished tables in generator order. Seeds travel inside cfg,
+// fixed before any dispatch, so the output is byte-identical to calling
+// g.Run(cfg) serially for each generator.
+func (r *Runner) Tables(gens []Generator, cfg RunConfig) []Table {
+	cfg = cfg.WithRunner(r)
+	out := make([]Table, len(gens))
+	var wg sync.WaitGroup
+	for i, g := range gens {
+		wg.Add(1)
+		go func(i int, g Generator) {
+			defer wg.Done()
+			out[i] = g.Run(cfg)
+		}(i, g)
+	}
+	wg.Wait()
+	return out
+}

@@ -56,7 +56,7 @@ type CSMA struct {
 	st      State
 	q       mac.Queue
 	retries int
-	timer   *sim.Event
+	timer   sim.Event
 	seq     uint32
 	stats   mac.Stats
 }
@@ -112,7 +112,7 @@ func (c *CSMA) schedule() {
 // attempt senses the carrier and transmits if the channel appears clear —
 // the transmitter-side test whose inadequacy §2.2 demonstrates.
 func (c *CSMA) attempt() {
-	c.timer = nil
+	c.timer = sim.Event{}
 	head := c.q.Peek()
 	if head == nil {
 		c.st = Idle
@@ -127,7 +127,7 @@ func (c *CSMA) attempt() {
 	air := c.env.Radio.Transmit(data)
 	c.st = Sending
 	c.setTimer(air, func() {
-		c.timer = nil
+		c.timer = sim.Event{}
 		if !c.opt.ACK {
 			c.finish(head)
 			return
@@ -149,7 +149,7 @@ func (c *CSMA) onACKTimeout() {
 	if c.st != WFACK {
 		return
 	}
-	c.timer = nil
+	c.timer = sim.Event{}
 	c.pol.OnFailure(0)
 	c.retries++
 	c.stats.Retries++
@@ -184,7 +184,7 @@ func (c *CSMA) RadioReceive(f *frame.Frame) {
 			c.stats.ACKSent++
 			c.st = Sending
 			c.setTimer(air, func() {
-				c.timer = nil
+				c.timer = sim.Event{}
 				c.schedule()
 			})
 		}
@@ -197,7 +197,7 @@ func (c *CSMA) RadioReceive(f *frame.Frame) {
 			return
 		}
 		c.timer.Cancel()
-		c.timer = nil
+		c.timer = sim.Event{}
 		c.pol.OnSuccess(f.Src)
 		c.finish(head)
 	}

@@ -55,7 +55,7 @@ type MACA struct {
 	st         State
 	q          mac.Queue
 	retries    int
-	timer      *sim.Event
+	timer      sim.Event
 	deferUntil sim.Time
 	curDst     frame.NodeID // destination of the exchange in flight
 	expectFrom frame.NodeID // sender we issued a CTS to (WFData)
@@ -103,7 +103,7 @@ func (m *MACA) setTimer(d sim.Duration, fn func()) {
 
 func (m *MACA) clearTimer() {
 	m.timer.Cancel()
-	m.timer = nil
+	m.timer = sim.Event{}
 }
 
 // enterContend schedules the next RTS attempt "an integer number of slot
@@ -154,7 +154,7 @@ func (m *MACA) onCTSTimeout() {
 	if m.st != WFCTS {
 		return
 	}
-	m.timer = nil
+	m.timer = sim.Event{}
 	m.failAttempt()
 }
 
@@ -206,7 +206,7 @@ func (m *MACA) onQuietEnd() {
 	if m.st != Quiet {
 		return
 	}
-	m.timer = nil
+	m.timer = sim.Event{}
 	if m.deferUntil > m.env.Sim.Now() {
 		m.setTimer(m.deferUntil-m.env.Sim.Now(), m.onQuietEnd)
 		return
@@ -268,7 +268,7 @@ func (m *MACA) receiveForMe(f *frame.Frame) {
 		air := m.env.Radio.Transmit(data)
 		m.st = SendData
 		m.setTimer(air, func() {
-			m.timer = nil
+			m.timer = sim.Event{}
 			m.stats.DataSent++
 			m.env.Callbacks.NotifySent(head)
 			m.next()
@@ -291,6 +291,6 @@ func (m *MACA) receiveForMe(f *frame.Frame) {
 // onTimeoutToIdle is Timeout rule 2: "From any other state, when a timer
 // expires, a station goes to the IDLE state."
 func (m *MACA) onTimeoutToIdle() {
-	m.timer = nil
+	m.timer = sim.Event{}
 	m.next()
 }

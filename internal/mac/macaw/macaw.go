@@ -135,7 +135,7 @@ type MACAW struct {
 	pol backoff.Policy
 
 	st         State
-	timer      *sim.Event
+	timer      sim.Event
 	deferUntil sim.Time
 	// carrierClearAt is the earliest transmission time permitted by the
 	// CarrierSense option: one slot after the carrier last went quiet,
@@ -197,7 +197,7 @@ func (m *MACAW) DeferUntil() sim.Time { return m.deferUntil }
 // TimerAt returns the firing time of the pending state timer, or -1 when no
 // timer is armed (introspection for tests and traces).
 func (m *MACAW) TimerAt() sim.Time {
-	if m.timer == nil || m.timer.Cancelled() {
+	if m.timer.IsZero() || m.timer.Cancelled() {
 		return -1
 	}
 	return m.timer.When()
@@ -274,7 +274,7 @@ func (m *MACAW) considerContender(c contender) {
 	}
 	k := 1 + m.env.Rand.Intn(m.pol.Backoff(c.dst))
 	at := base + sim.Duration(k)*m.env.Cfg.Slot()
-	if m.timer == nil || m.timer.Cancelled() || at < m.timer.When() {
+	if m.timer.IsZero() || m.timer.Cancelled() || at < m.timer.When() {
 		m.cur = c
 		m.setTimerAt(at, m.onContendTimeout)
 	}
@@ -292,7 +292,7 @@ func (m *MACAW) setTimerAt(t sim.Time, fn func()) {
 
 func (m *MACAW) clearTimer() {
 	m.timer.Cancel()
-	m.timer = nil
+	m.timer = sim.Event{}
 }
 
 // contendTargets lists the destinations with pending work.
@@ -370,7 +370,7 @@ func (m *MACAW) onContendTimeout() {
 	if m.st != Contend {
 		return
 	}
-	m.timer = nil
+	m.timer = sim.Event{}
 	if m.deferUntil > m.env.Sim.Now() {
 		m.enterContend()
 		return
@@ -434,12 +434,12 @@ func (m *MACAW) sendMulticast(head *mac.Packet) {
 	m.stats.RTSSent++
 	m.st = SendData
 	m.setTimer(air, func() {
-		m.timer = nil
+		m.timer = sim.Event{}
 		data := &frame.Frame{Type: frame.DATA, Src: m.env.ID(), Dst: frame.Broadcast, DataBytes: uint16(head.Size), Seq: head.Seq(), Multicast: true, Payload: head.Payload}
 		m.pol.StampSend(data)
 		dair := m.env.Radio.Transmit(data)
 		m.setTimer(dair, func() {
-			m.timer = nil
+			m.timer = sim.Event{}
 			m.queueFor(frame.Broadcast).Pop()
 			m.stats.DataSent++
 			m.env.Callbacks.NotifySent(head)
@@ -454,7 +454,7 @@ func (m *MACAW) onCTSTimeout() {
 	if m.st != WFCTS {
 		return
 	}
-	m.timer = nil
+	m.timer = sim.Event{}
 	m.pol.OnFailure(m.curDst)
 	m.stats.Retries++
 	m.bumpAttempts(m.curDst)
@@ -510,7 +510,7 @@ func (m *MACAW) onQuietEnd() {
 	if m.st != Quiet {
 		return
 	}
-	m.timer = nil
+	m.timer = sim.Event{}
 	if m.deferUntil > m.env.Sim.Now() {
 		m.setTimerAt(m.deferUntil, m.onQuietEnd)
 		return
@@ -528,14 +528,14 @@ func (m *MACAW) onQuietEnd() {
 // rule 3 — "From any other state, when a timer expires, a station goes to
 // the IDLE state."
 func (m *MACAW) onExpectTimeout() {
-	m.timer = nil
+	m.timer = sim.Event{}
 	if m.opt.NACK && m.st == WFData {
 		// §4: tell the sender its data never arrived.
 		nack := &frame.Frame{Type: frame.NACK, Src: m.env.ID(), Dst: m.expectSrc}
 		m.pol.StampSend(nack)
 		air := m.env.Radio.Transmit(nack)
 		m.st = SendData
-		m.setTimer(air, func() { m.timer = nil; m.next() })
+		m.setTimer(air, func() { m.timer = sim.Event{}; m.next() })
 		return
 	}
 	m.next()
@@ -772,7 +772,7 @@ func (m *MACAW) onCTS(f *frame.Frame) {
 		air := m.env.Radio.Transmit(ds)
 		m.stats.DSSent++
 		m.st = SendData
-		m.setTimer(air, func() { m.timer = nil; m.sendData(head) })
+		m.setTimer(air, func() { m.timer = sim.Event{}; m.sendData(head) })
 	} else {
 		m.st = SendData
 		m.sendData(head)
@@ -794,7 +794,7 @@ func (m *MACAW) sendData(head *mac.Packet) {
 	m.pol.StampSend(data)
 	air := m.env.Radio.Transmit(data)
 	m.setTimer(air, func() {
-		m.timer = nil
+		m.timer = sim.Event{}
 		if wantAck {
 			m.st = WFACK
 			m.setTimer(m.env.Cfg.CTSWait(), m.onACKTimeout)
@@ -844,7 +844,7 @@ func (m *MACAW) onACKTimeout() {
 	if m.st != WFACK {
 		return
 	}
-	m.timer = nil
+	m.timer = sim.Event{}
 	m.pol.OnFailure(m.curDst)
 	m.stats.Retries++
 	m.bumpAttempts(m.curDst)
@@ -941,7 +941,7 @@ func (m *MACAW) sendAck(dst frame.NodeID, seq uint32) {
 	air := m.env.Radio.Transmit(ack)
 	m.stats.ACKSent++
 	m.st = SendData
-	m.setTimer(air, func() { m.timer = nil; m.next() })
+	m.setTimer(air, func() { m.timer = sim.Event{}; m.next() })
 }
 
 // onRRTS answers a Request-for-RTS (control rule 13): transmit the RTS

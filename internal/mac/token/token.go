@@ -91,8 +91,8 @@ type Token struct {
 	ringPos  int // own index in the ring
 	passTo   int // ring index the token was passed to (Passing state)
 	sentThis int // packets sent during the current possession
-	timer    *sim.Event
-	watchdog *sim.Event
+	timer    sim.Event
+	watchdog sim.Event
 	seq      uint32
 	stats    mac.Stats
 	// Regenerations counts token-recovery events at this station.
@@ -156,7 +156,7 @@ func (t *Token) armWatchdog() {
 // per-station ringPos stagger makes the lowest live member win the
 // regeneration race.
 func (t *Token) onSilence() {
-	t.watchdog = nil
+	t.watchdog = sim.Event{}
 	if t.st != NoToken {
 		t.armWatchdog()
 		return
@@ -189,7 +189,7 @@ func (t *Token) serve() {
 	data := &frame.Frame{Type: frame.DATA, Src: t.env.ID(), Dst: head.Dst, DataBytes: uint16(head.Size), Seq: head.Seq(), Payload: head.Payload}
 	air := t.env.Radio.Transmit(data)
 	t.setTimer(air, func() {
-		t.timer = nil
+		t.timer = sim.Event{}
 		t.stats.DataSent++
 		t.env.Callbacks.NotifySent(head)
 		t.serve()
@@ -204,7 +204,7 @@ func (t *Token) pass(skip int) {
 		// a recovery pause.
 		t.st = Holding
 		t.setTimer(sim.Duration(t.opt.RecoverySlots)*t.env.Cfg.Slot(), func() {
-			t.timer = nil
+			t.timer = sim.Event{}
 			t.sentThis = 0
 			t.serve()
 		})
@@ -215,7 +215,7 @@ func (t *Token) pass(skip int) {
 	if succ == t.env.ID() {
 		// Ring of one: keep serving.
 		t.sentThis = 0
-		t.setTimer(t.env.Cfg.Slot(), func() { t.timer = nil; t.serve() })
+		t.setTimer(t.env.Cfg.Slot(), func() { t.timer = sim.Event{}; t.serve() })
 		return
 	}
 	tok := &frame.Frame{Type: frame.TOKEN, Src: t.env.ID(), Dst: succ}
@@ -223,7 +223,7 @@ func (t *Token) pass(skip int) {
 	t.st = Passing
 	skipNext := skip + 1
 	t.setTimer(air+sim.Duration(t.opt.WatchSlots)*t.env.Cfg.Slot(), func() {
-		t.timer = nil
+		t.timer = sim.Event{}
 		// The successor never showed life: skip it.
 		t.Skips++
 		t.pass(skipNext)
@@ -240,7 +240,7 @@ func (t *Token) RadioReceive(f *frame.Frame) {
 		// Any transmission from the successor proves the hand-off.
 		if f.Src == t.opt.Ring[t.passTo] {
 			t.timer.Cancel()
-			t.timer = nil
+			t.timer = sim.Event{}
 			t.st = NoToken
 		}
 	}
@@ -248,7 +248,7 @@ func (t *Token) RadioReceive(f *frame.Frame) {
 	case frame.TOKEN:
 		if f.Dst == t.env.ID() {
 			t.timer.Cancel()
-			t.timer = nil
+			t.timer = sim.Event{}
 			t.acquire()
 		}
 	case frame.DATA:

@@ -2,6 +2,7 @@ package phy
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"macaw/internal/frame"
@@ -54,6 +55,9 @@ type transmission struct {
 	f     *frame.Frame
 	end   sim.Time
 	rx    []*reception
+	// idx is the transmission's position in Medium.active, kept current by
+	// startTx/endTx so completion does not scan the active list.
+	idx int
 }
 
 // NoiseSource is a positional energy emitter (e.g. the Figure 11 electronic
@@ -72,6 +76,8 @@ func (n *NoiseSource) Set(on bool) {
 		return
 	}
 	n.on = on
+	n.m.invalidateNoise()
+	n.m.recomputeCarrier()
 	n.m.recheckInterference()
 	n.m.updateCarrier()
 }
@@ -80,6 +86,23 @@ func (n *NoiseSource) Set(on bool) {
 func (n *NoiseSource) On() bool { return n.on }
 
 // Medium is the shared radio channel.
+//
+// Interference bookkeeping is designed so that every decision the medium
+// takes is bit-identical to recomputing propagation from scratch on each
+// query, while doing almost no floating-point math on the hot path:
+//
+//   - gains caches prop.Gain for every ordered radio pair, so a pair's
+//     path loss (a math.Pow chain under the default model) is computed at
+//     most once between position changes.
+//   - carrier holds, per radio, the carrier-sense energy: the noise-source
+//     energy followed by the gain of every active transmission, summed in
+//     active-list order. Starting a transmission extends each radio's sum
+//     on the right (exactly extending the left-to-right fold); ending one
+//     re-folds from the cached gains. Sums are never maintained by blind
+//     add/subtract accumulation: floating-point subtraction is not the
+//     inverse of addition, and drift accumulated over millions of events
+//     could flip marginal capture and carrier decisions, making runs
+//     diverge from their seed-defined behaviour.
 type Medium struct {
 	s         *sim.Simulator
 	prop      Propagation
@@ -92,6 +115,56 @@ type Medium struct {
 	noise     NoiseModel
 	rng       *rand.Rand
 	counters  Counters
+
+	// gains is the dense R×R pairwise gain cache (NaN = not yet computed),
+	// indexed [a.idx*R + b.idx]. Entries are exactly prop.Gain(a.pos,
+	// b.pos), so cached and fresh computations are interchangeable.
+	gains []float64
+	// noiseSums caches noiseEnergyAt per radio (NaN = dirty).
+	noiseSums []float64
+	// carrier is the per-radio carrier-sense energy described above. The
+	// entry for a transmitting radio may include its own (clamped, huge)
+	// self-gain; it is never read while the radio transmits, and is
+	// re-folded when its transmission ends.
+	carrier []float64
+
+	// txFree and recFree recycle transmission and reception records: both
+	// are dead once endTx finishes (nothing outside the medium retains
+	// them), so steady-state traffic allocates neither.
+	txFree  []*transmission
+	recFree []*reception
+}
+
+// Closure-free event adapters for Simulator.AtPriorityCall: package-level
+// functions whose arguments ride in the pooled event record, so the phy hot
+// path schedules completions and notifications without allocating closures.
+func endTxCall(a, b any)      { a.(*Medium).endTx(b.(*transmission)) }
+func carrierOnCall(a, _ any)  { a.(Handler).RadioCarrier(true) }
+func carrierOffCall(a, _ any) { a.(Handler).RadioCarrier(false) }
+func receiveCall(a, b any)    { a.(Handler).RadioReceive(b.(*frame.Frame)) }
+func corruptedCall(a, b any)  { a.(CorruptionObserver).RadioCorrupted(b.(*frame.Frame)) }
+
+// allocTx takes a transmission record off the free list, or makes one.
+func (m *Medium) allocTx() *transmission {
+	if n := len(m.txFree); n > 0 {
+		t := m.txFree[n-1]
+		m.txFree[n-1] = nil
+		m.txFree = m.txFree[:n-1]
+		return t
+	}
+	return &transmission{}
+}
+
+// allocRec takes a reception record off the free list, or makes one.
+func (m *Medium) allocRec(q *Radio, power float64) *reception {
+	if n := len(m.recFree); n > 0 {
+		rec := m.recFree[n-1]
+		m.recFree[n-1] = nil
+		m.recFree = m.recFree[:n-1]
+		rec.radio, rec.power, rec.corrupted = q, power, false
+		return rec
+	}
+	return &reception{radio: q, power: power}
 }
 
 // New creates a medium with the given physical parameters and no noise.
@@ -117,7 +190,12 @@ func (m *Medium) SetNoise(n NoiseModel) {
 
 // SetPropagation overrides the propagation model (used by tests and by the
 // naive boolean-range model).
-func (m *Medium) SetPropagation(p Propagation) { m.prop = p }
+func (m *Medium) SetPropagation(p Propagation) {
+	m.prop = p
+	m.invalidateAllGains()
+	m.invalidateNoise()
+	m.recomputeCarrier()
+}
 
 // Params returns the medium's physical parameters.
 func (m *Medium) Params() Params { return m.params }
@@ -128,8 +206,15 @@ func (m *Medium) Counters() Counters { return m.counters }
 // Attach adds a radio at pos. The handler may be nil initially and installed
 // later with SetHandler, but must be set before any frame can be delivered.
 func (m *Medium) Attach(id frame.NodeID, pos geom.Vec3, h Handler) *Radio {
-	r := &Radio{id: id, pos: pos, m: m, h: h, enabled: true}
+	r := &Radio{id: id, pos: pos, m: m, h: h, enabled: true, idx: len(m.radios)}
 	m.radios = append(m.radios, r)
+	n := len(m.radios)
+	m.gains = make([]float64, n*n)
+	m.invalidateAllGains()
+	m.noiseSums = append(m.noiseSums, math.NaN())
+	m.invalidateNoise()
+	m.carrier = append(m.carrier, 0)
+	m.recomputeCarrier()
 	return r
 }
 
@@ -138,30 +223,75 @@ func (m *Medium) Attach(id frame.NodeID, pos geom.Vec3, h Handler) *Radio {
 func (m *Medium) AddNoiseSource(pos geom.Vec3, power float64) *NoiseSource {
 	ns := &NoiseSource{m: m, pos: pos, power: power}
 	m.sources = append(m.sources, ns)
+	m.invalidateNoise()
+	m.recomputeCarrier()
 	return ns
 }
 
 // Radios returns the attached radios in attach order.
 func (m *Medium) Radios() []*Radio { return m.radios }
 
+// invalidateAllGains marks every pairwise gain as not computed.
+func (m *Medium) invalidateAllGains() {
+	nan := math.NaN()
+	for i := range m.gains {
+		m.gains[i] = nan
+	}
+}
+
+// invalidateRadioGains marks every gain involving r as not computed.
+func (m *Medium) invalidateRadioGains(r *Radio) {
+	n := len(m.radios)
+	nan := math.NaN()
+	for k := 0; k < n; k++ {
+		m.gains[r.idx*n+k] = nan
+		m.gains[k*n+r.idx] = nan
+	}
+}
+
+// invalidateNoise marks every radio's cached noise-source energy dirty.
+func (m *Medium) invalidateNoise() {
+	nan := math.NaN()
+	for i := range m.noiseSums {
+		m.noiseSums[i] = nan
+	}
+}
+
+// gain returns prop.Gain(a.pos, b.pos) through the cache. Directions are
+// cached independently: the default models are symmetric, but a custom
+// Propagation need not be.
+func (m *Medium) gain(a, b *Radio) float64 {
+	i := a.idx*len(m.radios) + b.idx
+	g := m.gains[i]
+	if math.IsNaN(g) {
+		g = m.prop.Gain(a.pos, b.pos)
+		m.gains[i] = g
+	}
+	return g
+}
+
 // InRange reports whether a transmission from a would be decodable at b in
 // the absence of interference — the paper's simple in-range predicate.
 func (m *Medium) InRange(a, b *Radio) bool {
-	return m.prop.Gain(a.pos, b.pos) >= m.threshold
+	return m.gain(a, b) >= m.threshold
 }
 
 // power returns the received power at q for a transmission from r.
-func (m *Medium) power(r, q *Radio) float64 { return m.prop.Gain(r.pos, q.pos) }
+func (m *Medium) power(r, q *Radio) float64 { return m.gain(r, q) }
 
 // noiseEnergyAt sums the energy of active noise sources at q.
 func (m *Medium) noiseEnergyAt(q *Radio) float64 {
-	var sum float64
-	for _, ns := range m.sources {
-		if ns.on {
-			sum += ns.power * m.prop.Gain(ns.pos, q.pos)
+	v := m.noiseSums[q.idx]
+	if math.IsNaN(v) {
+		v = 0
+		for _, ns := range m.sources {
+			if ns.on {
+				v += ns.power * m.prop.Gain(ns.pos, q.pos)
+			}
 		}
+		m.noiseSums[q.idx] = v
 	}
-	return sum
+	return v
 }
 
 // interferenceAt sums received power at q from every active transmission
@@ -172,7 +302,7 @@ func (m *Medium) interferenceAt(q *Radio, exclude *transmission) float64 {
 		if t == exclude || t.radio == q {
 			continue
 		}
-		sum += m.power(t.radio, q)
+		sum += m.gain(t.radio, q)
 	}
 	return sum
 }
@@ -199,18 +329,40 @@ func (m *Medium) totalPowerAt(q *Radio) float64 {
 	return m.interferenceAt(q, nil)
 }
 
+// recomputeCarrier re-folds every radio's carrier-sense energy from the
+// cached noise and gain values, in canonical (noise, then active-list)
+// order.
+func (m *Medium) recomputeCarrier() {
+	for _, q := range m.radios {
+		sum := m.noiseEnergyAt(q)
+		for _, t := range m.active {
+			if t.radio == q {
+				continue
+			}
+			sum += m.gain(t.radio, q)
+		}
+		m.carrier[q.idx] = sum
+	}
+}
+
 // updateCarrier recomputes every radio's carrier indication and schedules
 // notifications for transitions.
 func (m *Medium) updateCarrier() {
 	for _, q := range m.radios {
-		busy := q.enabled && (q.tx != nil || m.totalPowerAt(q) >= m.threshold)
+		busy := q.enabled && (q.tx != nil || m.carrier[q.idx] >= m.threshold)
 		if busy == q.carrierBusy {
 			continue
 		}
 		q.carrierBusy = busy
 		if q.h != nil {
-			h, b := q.h, busy
-			m.s.AtPriority(m.s.Now(), -1, func() { h.RadioCarrier(b) })
+			// The transition direction is encoded in the function choice
+			// so no closure captures it; the handler snapshot rides in
+			// the event record.
+			call := carrierOffCall
+			if busy {
+				call = carrierOnCall
+			}
+			m.s.AtPriorityCall(m.s.Now(), -1, call, q.h, nil)
 		}
 	}
 }
@@ -235,44 +387,57 @@ func (m *Medium) startTx(r *Radio, f *frame.Frame) sim.Duration {
 			}
 		}
 	}
-	tx := &transmission{radio: r, f: f, end: m.s.Now() + air}
+	tx := m.allocTx()
+	tx.radio, tx.f, tx.end, tx.idx = r, f, m.s.Now()+air, len(m.active)
 	r.tx = tx
 	m.active = append(m.active, tx)
 	m.counters.Transmissions++
+	// The new transmission extends every radio's carrier fold on the right
+	// (including r's own entry, which stays unread while r transmits).
+	for _, q := range m.radios {
+		m.carrier[q.idx] += m.gain(r, q)
+	}
 
 	// New receptions at every enabled, non-transmitting radio in range.
 	for _, q := range m.radios {
 		if q == r || !q.enabled || q.tx != nil {
 			continue
 		}
-		p := m.power(r, q)
+		p := m.gain(r, q)
 		if p < m.threshold {
 			continue
 		}
-		rec := &reception{radio: q, power: p}
-		tx.rx = append(tx.rx, rec)
+		tx.rx = append(tx.rx, m.allocRec(q, p))
 	}
 	// The new transmission changes interference everywhere: evaluate the
-	// capture condition for both old and new receptions.
-	m.recheckInterference()
+	// capture condition for both old and new receptions. When this is the
+	// only transmission on the air and nobody is in range, there are no
+	// receptions to re-evaluate and the recheck is skipped outright.
+	if len(tx.rx) > 0 || len(m.active) > 1 {
+		m.recheckInterference()
+	}
 	m.updateCarrier()
 	// Priority -2: the end of a transmission (and the deliveries it
 	// spawns at priority -1) must precede any same-instant MAC timer, or
 	// a station whose contention slot lands exactly at a frame boundary
 	// would transmit without having "heard" the frame that just ended.
-	m.s.AtPriority(tx.end, -2, func() { m.endTx(tx) })
+	m.s.AtPriorityCall(tx.end, -2, endTxCall, m, tx)
 	return air
 }
 
 // endTx completes a transmission, delivering clean receptions.
 func (m *Medium) endTx(tx *transmission) {
-	for i, t := range m.active {
-		if t == tx {
-			m.active = append(m.active[:i], m.active[i+1:]...)
-			break
-		}
+	// Index-based removal: shift the tail down one slot, keeping relative
+	// order (and therefore summation order) intact.
+	i := tx.idx
+	copy(m.active[i:], m.active[i+1:])
+	m.active[len(m.active)-1] = nil
+	m.active = m.active[:len(m.active)-1]
+	for ; i < len(m.active); i++ {
+		m.active[i].idx = i
 	}
 	tx.radio.tx = nil
+	m.recomputeCarrier()
 	for _, rec := range tx.rx {
 		switch {
 		case rec.corrupted:
@@ -286,11 +451,20 @@ func (m *Medium) endTx(tx *transmission) {
 		default:
 			m.counters.Delivered++
 			if rec.radio.h != nil {
-				h, f := rec.radio.h, tx.f
-				m.s.AtPriority(m.s.Now(), -1, func() { h.RadioReceive(f) })
+				m.s.AtPriorityCall(m.s.Now(), -1, receiveCall, rec.radio.h, tx.f)
 			}
 		}
 	}
+	// The scheduled notifications captured handler and frame, never the
+	// records themselves, so both can be recycled immediately.
+	for i, rec := range tx.rx {
+		rec.radio = nil
+		tx.rx[i] = nil
+		m.recFree = append(m.recFree, rec)
+	}
+	tx.rx = tx.rx[:0]
+	tx.radio, tx.f = nil, nil
+	m.txFree = append(m.txFree, tx)
 	m.updateCarrier()
 }
 
@@ -299,7 +473,7 @@ func (m *Medium) notifyCorrupted(q *Radio, f *frame.Frame) {
 		return
 	}
 	if obs, ok := q.h.(CorruptionObserver); ok {
-		m.s.AtPriority(m.s.Now(), -1, func() { obs.RadioCorrupted(f) })
+		m.s.AtPriorityCall(m.s.Now(), -1, corruptedCall, obs, f)
 	}
 }
 
@@ -312,6 +486,9 @@ type Radio struct {
 	tx          *transmission
 	enabled     bool
 	carrierBusy bool
+	// idx is the radio's position in Medium.radios, the key into the
+	// medium's gain and interference caches.
+	idx int
 }
 
 // ID returns the radio's station identifier.
@@ -328,6 +505,9 @@ func (r *Radio) SetHandler(h Handler) { r.h = h }
 // transmissions and the carrier indication.
 func (r *Radio) SetPos(p geom.Vec3) {
 	r.pos = p
+	r.m.invalidateRadioGains(r)
+	r.m.noiseSums[r.idx] = math.NaN()
+	r.m.recomputeCarrier()
 	r.m.recheckInterference()
 	r.m.updateCarrier()
 }

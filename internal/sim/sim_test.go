@@ -258,7 +258,7 @@ func TestQuickCancelSubset(t *testing.T) {
 	f := func(delays []uint16, mask uint64) bool {
 		s := New(1)
 		fired := make(map[int]bool)
-		events := make([]*Event, len(delays))
+		events := make([]Event, len(delays))
 		for i, d := range delays {
 			i := i
 			events[i] = s.After(Time(d), func() { fired[i] = true })
@@ -326,6 +326,97 @@ func TestCancelledHeadDoesNotOvershootHorizon(t *testing.T) {
 	}
 	if s.Now() != 2*Second {
 		t.Fatalf("Now() = %v, want 2s", s.Now())
+	}
+}
+
+func TestEventRecordsAreRecycled(t *testing.T) {
+	s := New(1)
+	e := s.After(1, func() {})
+	rec := e.e
+	s.RunAll()
+	e2 := s.After(1, func() {})
+	if e2.e != rec {
+		t.Fatal("fired event record was not reused by the next schedule")
+	}
+}
+
+func TestStaleHandleSemantics(t *testing.T) {
+	s := New(1)
+	fired := false
+	e := s.After(1*Second, func() { fired = true })
+	s.RunAll()
+	if !fired {
+		t.Fatal("event did not fire")
+	}
+	// A handle to a fired event keeps answering like the original.
+	if e.Cancelled() {
+		t.Fatal("fired, uncancelled event reports cancelled")
+	}
+	if e.When() != 1*Second {
+		t.Fatalf("When() = %v after firing, want 1s", e.When())
+	}
+	// The record is recycled by the next schedule; the stale handle must
+	// neither observe nor disturb the new event.
+	fired2 := false
+	e2 := s.After(1*Second, func() { fired2 = true })
+	if e2.e != e.e {
+		t.Fatal("expected record reuse for this test to be meaningful")
+	}
+	e.Cancel()
+	if !e.Cancelled() {
+		t.Fatal("Cancel through a stale handle was not remembered by it")
+	}
+	if e2.Cancelled() {
+		t.Fatal("stale Cancel leaked onto the recycled event")
+	}
+	s.RunAll()
+	if !fired2 {
+		t.Fatal("recycled event was suppressed by a stale handle")
+	}
+}
+
+func TestZeroEventIsInert(t *testing.T) {
+	var e Event
+	if !e.IsZero() {
+		t.Fatal("zero Event not IsZero")
+	}
+	e.Cancel() // must not panic
+	if e.Cancelled() {
+		t.Fatal("zero Event reports cancelled")
+	}
+	if e.When() != 0 {
+		t.Fatal("zero Event has a When")
+	}
+}
+
+func TestPurgeCompactsCancelledHeap(t *testing.T) {
+	s := New(1)
+	events := make([]Event, 200)
+	for i := range events {
+		events[i] = s.After(Time(i+1)*Millisecond, func() {})
+	}
+	// Cancel everything but every fourth event: cancelled events now far
+	// outnumber live ones, so the next purge must compact the heap.
+	for i := range events {
+		if i%4 != 0 {
+			events[i].Cancel()
+		}
+	}
+	fired := 0
+	s.At(500*Millisecond, func() { fired++ })
+	s.Step() // purge runs first and compacts
+	if p := s.Pending(); p > 60 {
+		t.Fatalf("Pending() = %d after compaction, want ~50", p)
+	}
+	prev := Time(-1)
+	for s.Step() {
+		if s.Now() < prev {
+			t.Fatal("compaction broke event ordering")
+		}
+		prev = s.Now()
+	}
+	if fired != 1 {
+		t.Fatal("live event lost during compaction")
 	}
 }
 

@@ -33,7 +33,7 @@ type CBR struct {
 	running  bool
 	stopAt   sim.Time
 	hasStop  bool
-	ev       *sim.Event
+	ev       sim.Event
 }
 
 // NewCBR returns a CBR source at rate packets/second calling offer for each
@@ -96,7 +96,7 @@ type Poisson struct {
 	running bool
 	stopAt  sim.Time
 	hasStop bool
-	ev      *sim.Event
+	ev      sim.Event
 }
 
 // NewPoisson returns a Poisson source at mean rate packets/second.

@@ -48,7 +48,7 @@ type TCPSender struct {
 	haveRTT      bool
 	rto          sim.Duration
 	rtoBackoff   int
-	timer        *sim.Event
+	timer        sim.Event
 
 	// RTT sampling (one sample in flight, Karn's rule: no samples from
 	// retransmitted segments).
@@ -119,10 +119,10 @@ func (t *TCPSender) sendSeq(seq uint32, retransmit bool) {
 func (t *TCPSender) armTimer() {
 	if t.inFlight() == 0 {
 		t.timer.Cancel()
-		t.timer = nil
+		t.timer = sim.Event{}
 		return
 	}
-	if t.timer != nil && !t.timer.Cancelled() {
+	if !t.timer.IsZero() && !t.timer.Cancelled() {
 		return
 	}
 	t.timer = t.ep.Clock().After(t.currentRTO(), t.onTimeout)
@@ -140,7 +140,7 @@ func (t *TCPSender) currentRTO() sim.Duration {
 }
 
 func (t *TCPSender) onTimeout() {
-	t.timer = nil
+	t.timer = sim.Event{}
 	if t.inFlight() == 0 {
 		return
 	}
@@ -176,7 +176,7 @@ func (t *TCPSender) Handle(src frame.NodeID, seg Segment) {
 	t.dupAcks = 0
 	t.rtoBackoff = 0
 	t.timer.Cancel()
-	t.timer = nil
+	t.timer = sim.Event{}
 	t.pump()
 }
 

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# bench.sh — snapshot the performance trajectory into BENCH_PR1.json.
+#
+# Emits, for every paper table, the benchmark's ns/op (simulator speed) and
+# pps (protocol behaviour — must not move at a fixed seed), plus wall-clock
+# times for `macawsim -jobs N` so the runner's scaling is on record.
+#
+# Usage: scripts/bench.sh [output.json]   (default BENCH_PR1.json)
+set -eu
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_PR1.json}"
+benchtime="${BENCHTIME:-5x}"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+echo "running per-table benchmarks (-benchtime $benchtime)..." >&2
+go test -run '^$' -bench 'BenchmarkTable[0-9]+$|BenchmarkAllTables' \
+    -benchtime "$benchtime" . | tee "$tmp/bench.txt" >&2
+
+echo "timing macawsim -jobs scaling..." >&2
+go build -o "$tmp/macawsim" ./cmd/macawsim
+for jobs in 1 2 4; do
+    start=$(date +%s%N)
+    "$tmp/macawsim" -total 40 -warmup 5 -jobs "$jobs" > "$tmp/out.$jobs"
+    end=$(date +%s%N)
+    echo "$jobs $(( (end - start) / 1000000 ))" >> "$tmp/jobs.txt"
+done
+for jobs in 2 4; do
+    cmp -s "$tmp/out.1" "$tmp/out.$jobs" ||
+        { echo "FATAL: -jobs $jobs output differs from serial" >&2; exit 1; }
+done
+echo "-jobs output byte-identical across 1/2/4 workers" >&2
+
+awk -v nproc="$(nproc)" '
+BEGIN { n = 0; m = 0 }
+FNR == NR && $1 ~ /^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name); sub(/^Benchmark/, "", name)
+    ns[name] = $3
+    for (i = 4; i < NF; i++) if ($(i + 1) == "pps") pps[name] = $i
+    order[n++] = name
+    next
+}
+FNR != NR { jobs_n[m] = $1; jobs_ms[m] = $2; m++ }
+END {
+    printf "{\n  \"note\": \"ns_per_op measures simulator speed; pps measures protocol behaviour and must not move at a fixed seed; jobs entries are macawsim -total 40 -warmup 5 wall-clock ms (output verified byte-identical across jobs). Wall-clock speedup from -jobs requires nproc > 1: on a single-CPU host the workers serialize and only dispatch overhead shows.\",\n"
+    printf "  \"nproc\": %d,\n", nproc
+    printf "  \"benchmarks\": {\n"
+    for (i = 0; i < n; i++) {
+        name = order[i]
+        printf "    \"%s\": {\"ns_per_op\": %s", name, ns[name]
+        if (name in pps) printf ", \"pps\": %s", pps[name]
+        printf "}%s\n", (i < n - 1 ? "," : "")
+    }
+    printf "  },\n  \"jobs_wallclock_ms\": {\n"
+    for (i = 0; i < m; i++)
+        printf "    \"%s\": %s%s\n", jobs_n[i], jobs_ms[i], (i < m - 1 ? "," : "")
+    printf "  }\n}\n"
+}' "$tmp/bench.txt" "$tmp/jobs.txt" > "$out"
+
+echo "wrote $out" >&2
