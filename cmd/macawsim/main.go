@@ -2,13 +2,16 @@
 //
 // Usage:
 //
-//	macawsim [-table table1..table11|all] [-total SECONDS] [-warmup SECONDS] [-seed N] [-paper] [-jobs N]
+//	macawsim [-table table1..table11|all] [-chaos] [-total SECONDS] [-warmup SECONDS] [-seed N] [-paper] [-jobs N]
 //
 // Each table prints the paper's reported packets-per-second next to this
 // reproduction's measurements. -paper selects the paper's 500 s run length;
 // the default is a faster 120 s run that exhibits the same shapes. -jobs N
 // runs the independent simulations on N workers; every run is seeded before
 // dispatch, so the output is byte-identical to the serial (-jobs 1) path.
+// -chaos replaces the table set with the robustness table: MACA vs MACAW
+// under injected faults (burst loss, asymmetric links, crash/restart,
+// mobility), each run swept by the FSM liveness watchdog.
 package main
 
 import (
@@ -29,6 +32,7 @@ func main() {
 	paper := flag.Bool("paper", false, "use the paper's 500s/50s run length")
 	format := flag.String("format", "text", "output format: text or csv")
 	jobs := flag.Int("jobs", 1, "number of simulations to run concurrently (output is identical for any value)")
+	chaos := flag.Bool("chaos", false, "emit the fault-injection robustness table instead of the paper tables")
 	flag.Parse()
 
 	cfg := experiments.Quick()
@@ -48,31 +52,11 @@ func main() {
 	}
 
 	var gens []experiments.Generator
-	switch *table {
-	case "all":
-		gens = append(experiments.All(), experiments.Extensions()...)
-	case "ext":
-		gens = experiments.Extensions()
+	switch {
+	case *chaos:
+		gens = []experiments.Generator{experiments.ChaosGenerator()}
 	default:
-		g, ok := experiments.ByID(*table)
-		if !ok {
-			for _, e := range experiments.Extensions() {
-				if e.ID == *table {
-					g, ok = e, true
-					break
-				}
-			}
-		}
-		if !ok {
-			ids := experiments.IDs()
-			for _, e := range experiments.Extensions() {
-				ids = append(ids, e.ID)
-			}
-			fmt.Fprintf(os.Stderr, "macawsim: unknown experiment %q; available: %s\n",
-				*table, strings.Join(ids, ", "))
-			os.Exit(2)
-		}
-		gens = []experiments.Generator{g}
+		gens = tableGens(*table)
 	}
 
 	// The serial and parallel paths produce the same tables in the same
@@ -97,4 +81,36 @@ func main() {
 	for _, tab := range tabs {
 		fmt.Println(tab.Render())
 	}
+}
+
+// tableGens resolves the -table selector to generators, exiting on a typo.
+func tableGens(table string) []experiments.Generator {
+	var gens []experiments.Generator
+	switch table {
+	case "all":
+		gens = append(experiments.All(), experiments.Extensions()...)
+	case "ext":
+		gens = experiments.Extensions()
+	default:
+		g, ok := experiments.ByID(table)
+		if !ok {
+			for _, e := range experiments.Extensions() {
+				if e.ID == table {
+					g, ok = e, true
+					break
+				}
+			}
+		}
+		if !ok {
+			ids := experiments.IDs()
+			for _, e := range experiments.Extensions() {
+				ids = append(ids, e.ID)
+			}
+			fmt.Fprintf(os.Stderr, "macawsim: unknown experiment %q; available: %s\n",
+				table, strings.Join(ids, ", "))
+			os.Exit(2)
+		}
+		gens = []experiments.Generator{g}
+	}
+	return gens
 }

@@ -286,15 +286,36 @@ func TestPerDestReceiveValidatedFrameAdoptsValues(t *testing.T) {
 	}
 }
 
-func TestPerDestReceiveStaleFrameIgnored(t *testing.T) {
+func TestPerDestReceiveESNRegressionResyncs(t *testing.T) {
+	// An ESN below the high-water mark cannot be a delayed frame (the
+	// medium delivers each sender's frames in order): it means the peer
+	// rebooted and is numbering exchanges from scratch. The entry must
+	// resynchronize — post-handshake values are adopted — or every frame
+	// from the restarted peer would be discarded against the dead
+	// instance's mark.
 	p := NewPerDest(NewMILD())
 	pe := p.Peer(5)
 	pe.SeenESN = 9
 	p.My = 7
 	f := &frame.Frame{Type: frame.DATA, Src: 5, Dst: 1, LocalBackoff: 8, RemoteBackoff: 3, ESN: 4}
 	p.OnReceive(f)
-	if pe.Remote != IDontKnow || p.My != 7 {
-		t.Fatalf("stale frame adopted: %+v my=%d", pe, p.My)
+	if pe.SeenESN != 4 || pe.Remote != 8 || pe.Local != 3 || p.My != 3 {
+		t.Fatalf("regression not resynced: %+v my=%d", pe, p.My)
+	}
+}
+
+func TestPerDestRTSESNRegressionResyncs(t *testing.T) {
+	p := NewPerDest(NewMILD())
+	pe := p.Peer(5)
+	pe.SeenESN = 9
+	pe.SeenRetry = 3
+	f := &frame.Frame{Type: frame.RTS, Src: 5, Dst: 1, LocalBackoff: 8, RemoteBackoff: 3, ESN: 2}
+	p.OnReceive(f)
+	if pe.SeenESN != 2 || pe.SeenRetry != 1 {
+		t.Fatalf("RTS regression not resynced: %+v", pe)
+	}
+	if pe.Remote != IDontKnow {
+		t.Fatalf("RTS values adopted: %+v", pe)
 	}
 }
 

@@ -1,6 +1,10 @@
 package backoff
 
-import "macaw/internal/frame"
+import (
+	"sort"
+
+	"macaw/internal/frame"
+)
 
 // Peer is the per-remote-station state of Appendix B. The pseudocode's
 // exchange_seq_number and retry_count each serve two distinct roles —
@@ -50,6 +54,17 @@ func (p *PerDest) Peer(id frame.NodeID) *Peer {
 		p.peers[id] = pe
 	}
 	return pe
+}
+
+// PeerIDs lists the stations with bookkeeping entries in ascending order —
+// introspection for the fault watchdog's stale-entry checks.
+func (p *PerDest) PeerIDs() []frame.NodeID {
+	ids := make([]frame.NodeID, 0, len(p.peers))
+	for id := range p.peers {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
 }
 
 func (p *PerDest) clamp(v int) int { return clamp(v, p.strat.Min(), p.strat.Max()) }
@@ -132,6 +147,17 @@ func (p *PerDest) OnReceive(f *frame.Frame) {
 		case f.ESN > pe.SeenESN:
 			pe.SeenESN = f.ESN
 			pe.SeenRetry = 1
+		case f.ESN < pe.SeenESN:
+			// ESN regression. Exchange numbers only grow within one
+			// lifetime of the peer, and the medium delivers each
+			// sender's frames in transmit order, so a smaller number
+			// means the peer rebooted and is numbering from scratch.
+			// Resynchronize the entry as if this were a first RTS;
+			// without the reset every frame from the restarted peer
+			// would be discarded as stale against the dead
+			// instance's high-water mark.
+			pe.SeenESN = f.ESN
+			pe.SeenRetry = 1
 		case f.ESN == pe.SeenESN:
 			// "Q's backoff = local_backoff + retry_count * ALPHA" —
 			// a replacement anchored to the packet's claim, not a
@@ -149,9 +175,9 @@ func (p *PerDest) OnReceive(f *frame.Frame) {
 		}
 		return
 	}
-	if f.ESN < pe.SeenESN {
-		return // stale
-	}
+	// An ESN below the high-water mark is a regression, not a stale frame
+	// (per-sender delivery is ordered): the peer rebooted, and its fresh
+	// post-handshake values are authoritative — adopt them.
 	pe.SeenESN = f.ESN
 	pe.SeenRetry = 1
 	pe.Remote = local

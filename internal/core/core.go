@@ -78,15 +78,18 @@ func RingOf(n int) []frame.NodeID {
 
 // Station is one pad or base station.
 type Station struct {
-	id    frame.NodeID
-	name  string
-	net   *Network
-	radio *phy.Radio
-	mac   mac.MAC
+	id      frame.NodeID
+	name    string
+	net     *Network
+	radio   *phy.Radio
+	mac     mac.MAC
+	factory MACFactory
 
 	handlers []func(src frame.NodeID, seg transport.Segment)
 	// dropped accumulates MAC-level packet drops surfaced via callbacks.
 	dropped int
+	// crashes and restarts count fault-injection events at this station.
+	crashes, restarts int
 }
 
 // ID returns the station identifier.
@@ -103,6 +106,65 @@ func (st *Station) MAC() mac.MAC { return st.mac }
 
 // Dropped reports MAC-level packet drops at this station.
 func (st *Station) Dropped() int { return st.dropped }
+
+// Crashes reports how many times the station has crashed.
+func (st *Station) Crashes() int { return st.crashes }
+
+// Restarts reports how many times the station has restarted.
+func (st *Station) Restarts() int { return st.restarts }
+
+// newEnv builds a MAC environment bound to the station's radio. Each call
+// draws a fresh generator from the simulator, so a restarted MAC gets its own
+// reproducible stream.
+func (st *Station) newEnv() *mac.Env {
+	return &mac.Env{
+		Sim:   st.net.Sim,
+		Radio: st.radio,
+		Rand:  st.net.Sim.NewRand(),
+		Cfg:   st.net.Cfg,
+		Callbacks: mac.Callbacks{
+			Deliver: st.onDeliver,
+			Dropped: func(*mac.Packet, mac.DropReason) { st.dropped++ },
+		},
+	}
+}
+
+// Crash simulates a node failure: the MAC instance is halted (timers
+// cancelled, queued packets dropped) and the radio goes dark, mid-exchange or
+// not. Peers keep whatever ESN/backoff state they hold for the station.
+// Traffic generators keep running — their segments are discarded while the
+// radio is down (SendSegment checks Enabled) and flow again after Restart.
+// Crashing an already-dark station is a no-op; it reports whether the crash
+// took effect.
+func (st *Station) Crash() bool {
+	if !st.radio.Enabled() {
+		return false
+	}
+	if h, ok := st.mac.(mac.Halter); ok {
+		h.Halt()
+	}
+	st.radio.SetEnabled(false)
+	st.crashes++
+	return true
+}
+
+// Restart revives a crashed station: the radio powers back up and a fresh
+// MAC instance is built from the station's factory, replacing the halted one
+// as the radio handler. All protocol state — FSM, queues, backoff counters,
+// link-layer sequence numbers — resets exactly as a rebooted device's would,
+// while peers still hold entries for the pre-crash instance. Restarting a
+// station that is already up is a no-op (a second live MAC bound to the same
+// radio would fight the first for it); it reports whether a restart
+// happened.
+func (st *Station) Restart() bool {
+	if st.radio.Enabled() {
+		return false
+	}
+	st.radio.SetEnabled(true)
+	st.mac = st.factory(st.newEnv())
+	st.restarts++
+	return true
+}
 
 // SendSegment implements transport.Endpoint: wrap the segment into a MAC
 // packet of the requested on-air size. A powered-off station sends nothing.
@@ -223,20 +285,10 @@ func (n *Network) AddStation(name string, pos geom.Vec3, f MACFactory) *Station 
 	if _, dup := n.byName[name]; dup {
 		panic(fmt.Sprintf("core: duplicate station name %q", name))
 	}
-	st := &Station{id: n.nextID, name: name, net: n}
+	st := &Station{id: n.nextID, name: name, net: n, factory: f}
 	n.nextID++
 	st.radio = n.Medium.Attach(st.id, pos, nil)
-	env := &mac.Env{
-		Sim:   n.Sim,
-		Radio: st.radio,
-		Rand:  n.Sim.NewRand(),
-		Cfg:   n.Cfg,
-		Callbacks: mac.Callbacks{
-			Deliver: st.onDeliver,
-			Dropped: func(*mac.Packet, mac.DropReason) { st.dropped++ },
-		},
-	}
-	st.mac = f(env)
+	st.mac = f(st.newEnv())
 	n.stations = append(n.stations, st)
 	n.byName[name] = st
 	return st

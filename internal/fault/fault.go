@@ -1,0 +1,136 @@
+// Package fault injects deterministic faults into a simulated network and
+// checks the liveness invariants the protocols must keep under them.
+//
+// Every fault is driven by the simulation clock and the simulator's seeded
+// generator streams, so a faulted run remains a pure function of (layout,
+// factory, config, seed): the same seed reproduces the same crashes, burst
+// episodes, link faults, and walks, event for event. The injector composes
+// with any MAC — it talks only to core.Station (crash/restart), phy.Medium
+// (noise models), and phy.Radio (mobility).
+//
+// Fault classes (ISSUE 2 tentpole):
+//
+//   - Node crash/restart: the radio goes dark mid-exchange and the MAC is
+//     halted; a later restart builds a fresh MAC instance while peers still
+//     hold ESN/backoff entries for the dead one.
+//   - Gilbert–Elliott burst loss: phy.GilbertElliott, temporally correlated
+//     losses (whole exchanges vanish during bad episodes).
+//   - Asymmetric links: phy.LinkLoss applied to one direction of a pair.
+//   - Mobility walks: scheduled relocations carrying a station between
+//     cells mid-stream.
+package fault
+
+import (
+	"fmt"
+
+	"macaw/internal/core"
+	"macaw/internal/geom"
+	"macaw/internal/phy"
+	"macaw/internal/sim"
+	"macaw/internal/stats"
+)
+
+// MinDowntime is the smallest allowed crash-to-restart gap. The medium's own
+// end-of-transmission event clears a dead station's in-flight frame at most
+// one data airtime (16 ms at 256 kbps) after the crash; restarting after the
+// air is guaranteed clear keeps the fresh MAC from colliding with the dead
+// instance's last frame inside the same radio.
+const MinDowntime = 50 * sim.Millisecond
+
+// Injector schedules deterministic faults on a network. Create it after the
+// network's stations exist and before Run.
+type Injector struct {
+	n     *core.Network
+	noise phy.MultiNoise
+	ge    []*phy.GilbertElliott
+	fc    stats.FaultCounters
+}
+
+// NewInjector returns an injector for n.
+func NewInjector(n *core.Network) *Injector {
+	return &Injector{n: n}
+}
+
+// station resolves a station name, panicking on a typo — fault schedules are
+// test fixtures, and a silently missing target would void the scenario.
+func (in *Injector) station(name string) *core.Station {
+	st := in.n.Station(name)
+	if st == nil {
+		panic(fmt.Sprintf("fault: unknown station %q", name))
+	}
+	return st
+}
+
+// CrashRestart schedules the named station to crash at crashAt and restart
+// at restartAt; restartAt = 0 means the station stays down. The MAC halts
+// (queued packets drop, timers cancel) and the radio goes dark; peers keep
+// whatever backoff/ESN state they hold. Restart must trail the crash by at
+// least MinDowntime so the dead instance's last frame clears the air first.
+func (in *Injector) CrashRestart(name string, crashAt, restartAt sim.Time) {
+	st := in.station(name)
+	if restartAt != 0 && restartAt < crashAt+MinDowntime {
+		panic(fmt.Sprintf("fault: restart of %q at %v within MinDowntime of crash at %v", name, restartAt, crashAt))
+	}
+	in.n.At(crashAt, func() {
+		if st.Crash() {
+			in.fc.Crashes++
+		}
+	})
+	if restartAt != 0 {
+		in.n.At(restartAt, func() {
+			if st.Restart() {
+				in.fc.Restarts++
+			}
+		})
+	}
+}
+
+// BurstChannel installs a Gilbert–Elliott burst-loss channel (composed with
+// any previously installed noise) and returns it for introspection. The
+// episode schedule draws from its own simulator stream, so packet arrivals
+// sample the loss trajectory without perturbing it.
+func (in *Injector) BurstChannel(pGood, pBad float64, meanGood, meanBad sim.Duration) *phy.GilbertElliott {
+	g := phy.NewGilbertElliott(in.n.Sim, pGood, pBad, meanGood, meanBad)
+	in.ge = append(in.ge, g)
+	in.addNoise(g)
+	return g
+}
+
+// AsymmetricLoss drops frames from one named station to another with
+// probability p — one direction only, leaving the reverse path clean.
+func (in *Injector) AsymmetricLoss(from, to string, p float64) {
+	a, b := in.station(from), in.station(to)
+	in.addNoise(phy.LinkLoss{From: a.ID(), To: b.ID(), P: p})
+	in.fc.LinkFaults++
+}
+
+// addNoise composes m with every model installed so far.
+func (in *Injector) addNoise(m phy.NoiseModel) {
+	in.noise = append(in.noise, m)
+	in.n.Medium.SetNoise(in.noise)
+}
+
+// Walk schedules a deterministic mobility walk: the station moves to path[0]
+// at start and advances one waypoint every step thereafter, reproducing the
+// paper's migration scenarios (a pad carried between cells mid-stream).
+func (in *Injector) Walk(name string, start sim.Time, step sim.Duration, path ...geom.Vec3) {
+	st := in.station(name)
+	for i, pos := range path {
+		pos := pos
+		in.n.At(start+sim.Time(i)*step, func() {
+			st.Radio().SetPos(pos)
+			in.fc.Moves++
+		})
+	}
+}
+
+// Counters returns the fault-exposure counters accumulated so far. Burst
+// episodes are read live from the installed channels, so call it after the
+// run for end-of-run totals.
+func (in *Injector) Counters() stats.FaultCounters {
+	fc := in.fc
+	for _, g := range in.ge {
+		fc.BurstEpisodes += g.Episodes()
+	}
+	return fc
+}

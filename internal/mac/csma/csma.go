@@ -58,6 +58,7 @@ type CSMA struct {
 	retries int
 	timer   sim.Event
 	seq     uint32
+	halted  bool // crashed instance: every entry point is a no-op
 	stats   mac.Stats
 }
 
@@ -74,6 +75,44 @@ func New(env *mac.Env, opt Options) *CSMA {
 // State returns the current sender state.
 func (c *CSMA) State() State { return c.st }
 
+// TimerAt returns the firing time of the pending state timer, or -1 when no
+// timer is armed (introspection for tests and the liveness watchdog).
+func (c *CSMA) TimerAt() sim.Time {
+	if c.timer.IsZero() || c.timer.Cancelled() {
+		return -1
+	}
+	return c.timer.When()
+}
+
+// FSMState implements mac.Inspector.
+func (c *CSMA) FSMState() string { return c.st.String() }
+
+// TimerPending implements mac.Inspector.
+func (c *CSMA) TimerPending() bool { return c.TimerAt() >= 0 }
+
+// TimerWhen implements mac.Inspector.
+func (c *CSMA) TimerWhen() sim.Time { return c.TimerAt() }
+
+// Halt implements mac.Halter: cancel the state timer, drop the queue
+// (reported with DropDisabled), and turn every subsequent entry point into a
+// no-op so a restarted MAC can own the radio without interference.
+func (c *CSMA) Halt() {
+	if c.halted {
+		return
+	}
+	c.halted = true
+	c.timer.Cancel()
+	c.timer = sim.Event{}
+	c.st = Idle
+	for p := c.q.Pop(); p != nil; p = c.q.Pop() {
+		c.stats.Drops++
+		c.env.Callbacks.NotifyDropped(p, mac.DropDisabled)
+	}
+}
+
+// Halted reports whether Halt has been called.
+func (c *CSMA) Halted() bool { return c.halted }
+
 // Stats implements mac.MAC.
 func (c *CSMA) Stats() mac.Stats { return c.stats }
 
@@ -82,6 +121,10 @@ func (c *CSMA) QueueLen() int { return c.q.Len() }
 
 // Enqueue implements mac.MAC.
 func (c *CSMA) Enqueue(p *mac.Packet) {
+	if c.halted {
+		c.env.Callbacks.NotifyDropped(p, mac.DropDisabled)
+		return
+	}
 	c.seq++
 	p.SetSeq(c.seq)
 	p.Enqueued = c.env.Sim.Now()
@@ -169,7 +212,7 @@ func (c *CSMA) RadioCarrier(bool) {}
 
 // RadioReceive implements phy.Handler.
 func (c *CSMA) RadioReceive(f *frame.Frame) {
-	if f.Dst != c.env.ID() {
+	if c.halted || f.Dst != c.env.ID() {
 		return
 	}
 	switch f.Type {

@@ -86,6 +86,30 @@ type MAC interface {
 	Stats() Stats
 }
 
+// Halter is an optional MAC capability used by fault injection: Halt
+// silences the instance permanently — the state timer is cancelled, queued
+// packets are dropped (reported via the Dropped callback with DropDisabled),
+// and every subsequent enqueue, radio indication, or stray timer becomes a
+// no-op. A crashed station halts its MAC so a later restart can bind a
+// fresh instance to the same radio without the two fighting over it.
+type Halter interface {
+	Halt()
+}
+
+// Inspector is an optional MAC capability exposing the FSM introspection a
+// liveness watchdog needs: the current state's name, and whether a state
+// timer (or scheduled continuation) is pending. All protocol engines in
+// this repository implement it.
+type Inspector interface {
+	// FSMState names the current protocol state ("IDLE", "WFCTS", ...).
+	FSMState() string
+	// TimerPending reports whether a state timer is armed.
+	TimerPending() bool
+	// TimerWhen reports when the pending timer fires, or -1 when none is
+	// armed.
+	TimerWhen() sim.Time
+}
+
 // Stats counts MAC-level events.
 type Stats struct {
 	// DataSent counts completed local data transmissions.

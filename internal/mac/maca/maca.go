@@ -60,6 +60,7 @@ type MACA struct {
 	curDst     frame.NodeID // destination of the exchange in flight
 	expectFrom frame.NodeID // sender we issued a CTS to (WFData)
 	seq        uint32
+	halted     bool // crashed instance: every entry point is a no-op
 	stats      mac.Stats
 }
 
@@ -77,6 +78,44 @@ func New(env *mac.Env, opts ...Option) *MACA {
 // State returns the current protocol state, for tests and traces.
 func (m *MACA) State() State { return m.st }
 
+// TimerAt returns the firing time of the pending state timer, or -1 when no
+// timer is armed (introspection for tests and the liveness watchdog).
+func (m *MACA) TimerAt() sim.Time {
+	if m.timer.IsZero() || m.timer.Cancelled() {
+		return -1
+	}
+	return m.timer.When()
+}
+
+// FSMState implements mac.Inspector.
+func (m *MACA) FSMState() string { return m.st.String() }
+
+// TimerPending implements mac.Inspector.
+func (m *MACA) TimerPending() bool { return m.TimerAt() >= 0 }
+
+// TimerWhen implements mac.Inspector.
+func (m *MACA) TimerWhen() sim.Time { return m.TimerAt() }
+
+// Halt implements mac.Halter: cancel the state timer, drop the queue
+// (reported with DropDisabled), and turn every subsequent entry point into a
+// no-op so a restarted MAC can own the radio without interference.
+func (m *MACA) Halt() {
+	if m.halted {
+		return
+	}
+	m.halted = true
+	m.clearTimer()
+	m.st = Idle
+	m.deferUntil = 0
+	for p := m.q.Pop(); p != nil; p = m.q.Pop() {
+		m.stats.Drops++
+		m.env.Callbacks.NotifyDropped(p, mac.DropDisabled)
+	}
+}
+
+// Halted reports whether Halt has been called.
+func (m *MACA) Halted() bool { return m.halted }
+
 // Stats implements mac.MAC.
 func (m *MACA) Stats() mac.Stats { return m.stats }
 
@@ -87,6 +126,10 @@ func (m *MACA) QueueLen() int { return m.q.Len() }
 // wants to transmit a data packet to B, it sets a random timer and goes to
 // the CONTEND state."
 func (m *MACA) Enqueue(p *mac.Packet) {
+	if m.halted {
+		m.env.Callbacks.NotifyDropped(p, mac.DropDisabled)
+		return
+	}
 	m.seq++
 	p.SetSeq(m.seq)
 	p.Enqueued = m.env.Sim.Now()
@@ -219,6 +262,9 @@ func (m *MACA) RadioCarrier(bool) {}
 
 // RadioReceive implements phy.Handler.
 func (m *MACA) RadioReceive(f *frame.Frame) {
+	if m.halted {
+		return
+	}
 	if f.Dst == m.env.ID() {
 		m.receiveForMe(f)
 		return

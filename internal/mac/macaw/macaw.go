@@ -20,6 +20,7 @@ package macaw
 
 import (
 	"fmt"
+	"sort"
 
 	"macaw/internal/backoff"
 	"macaw/internal/frame"
@@ -163,6 +164,16 @@ type MACAW struct {
 	// pending holds, per destination, a data packet transmitted without
 	// an ack request, awaiting its piggybacked confirmation (§4).
 	pending map[frame.NodeID]*mac.Packet
+	// pendingRetries counts consecutive retransmissions of a lost pending
+	// packet per destination. The RTS-CTS leg succeeds on every lap of
+	// that loop, so the ordinary attempt counter (reset by each tentative
+	// completion) never trips; without this bound a link whose data
+	// direction is dead retries forever.
+	pendingRetries map[frame.NodeID]int
+
+	// halted marks a crashed instance: every entry point is a no-op so a
+	// restarted MAC can own the radio without interference (mac.Halter).
+	halted bool
 
 	stats mac.Stats
 }
@@ -171,14 +182,15 @@ type MACAW struct {
 // the radio handler.
 func New(env *mac.Env, opt Options) *MACAW {
 	m := &MACAW{
-		env:       env,
-		opt:       opt,
-		pol:       opt.Policy,
-		streams:   mac.NewStreamQueues(),
-		attempts:  make(map[frame.NodeID]int),
-		lastAcked: make(map[frame.NodeID]uint32),
-		everAcked: make(map[frame.NodeID]bool),
-		pending:   make(map[frame.NodeID]*mac.Packet),
+		env:            env,
+		opt:            opt,
+		pol:            opt.Policy,
+		streams:        mac.NewStreamQueues(),
+		attempts:       make(map[frame.NodeID]int),
+		lastAcked:      make(map[frame.NodeID]uint32),
+		everAcked:      make(map[frame.NodeID]bool),
+		pending:        make(map[frame.NodeID]*mac.Packet),
+		pendingRetries: make(map[frame.NodeID]int),
 	}
 	if m.pol == nil {
 		m.pol = backoff.NewPerDest(backoff.NewMILD())
@@ -202,6 +214,58 @@ func (m *MACAW) TimerAt() sim.Time {
 	}
 	return m.timer.When()
 }
+
+// FSMState implements mac.Inspector.
+func (m *MACAW) FSMState() string { return m.st.String() }
+
+// TimerPending implements mac.Inspector.
+func (m *MACAW) TimerPending() bool { return m.TimerAt() >= 0 }
+
+// TimerWhen implements mac.Inspector.
+func (m *MACAW) TimerWhen() sim.Time { return m.TimerAt() }
+
+// Halt implements mac.Halter: cancel the state timer, drop all queued and
+// tentatively-completed packets (reported with DropDisabled), and turn every
+// subsequent entry point into a no-op.
+func (m *MACAW) Halt() {
+	if m.halted {
+		return
+	}
+	m.halted = true
+	m.clearTimer()
+	m.st = Idle
+	m.hasRRTS = false
+	m.deferUntil = 0
+	drain := func(q *mac.Queue) {
+		for p := q.Pop(); p != nil; p = q.Pop() {
+			m.stats.Drops++
+			m.env.Callbacks.NotifyDropped(p, mac.DropDisabled)
+		}
+	}
+	if m.opt.PerStream {
+		for _, d := range m.streams.Destinations() {
+			drain(m.streams.Queue(d))
+		}
+	} else {
+		drain(&m.fifo)
+	}
+	// Pending piggyback packets die with the station too; sorted order
+	// keeps the callback sequence deterministic.
+	dsts := make([]frame.NodeID, 0, len(m.pending))
+	for d := range m.pending {
+		dsts = append(dsts, d)
+	}
+	sort.Slice(dsts, func(i, j int) bool { return dsts[i] < dsts[j] })
+	for _, d := range dsts {
+		p := m.pending[d]
+		delete(m.pending, d)
+		m.stats.Drops++
+		m.env.Callbacks.NotifyDropped(p, mac.DropDisabled)
+	}
+}
+
+// Halted reports whether Halt has been called.
+func (m *MACAW) Halted() bool { return m.halted }
 
 // Options returns the configured options.
 func (m *MACAW) Options() Options { return m.opt }
@@ -243,6 +307,10 @@ func (m *MACAW) head(dst frame.NodeID) *mac.Packet {
 
 // Enqueue implements mac.MAC.
 func (m *MACAW) Enqueue(p *mac.Packet) {
+	if m.halted {
+		m.env.Callbacks.NotifyDropped(p, mac.DropDisabled)
+		return
+	}
 	m.seq++
 	p.SetSeq(m.seq)
 	p.Enqueued = m.env.Sim.Now()
@@ -546,7 +614,7 @@ func (m *MACAW) onExpectTimeout() {
 // the station holds its transmissions until one slot after the carrier
 // clears.
 func (m *MACAW) RadioCarrier(busy bool) {
-	if !m.opt.CarrierSense {
+	if m.halted || !m.opt.CarrierSense {
 		return
 	}
 	if busy {
@@ -590,6 +658,9 @@ func (m *MACAW) dataPlusAck(dataBytes int) sim.Duration {
 
 // RadioReceive implements phy.Handler.
 func (m *MACAW) RadioReceive(f *frame.Frame) {
+	if m.halted {
+		return
+	}
 	if f.Dst == m.env.ID() {
 		m.receiveForMe(f)
 		return
@@ -741,17 +812,29 @@ func (m *MACAW) onCTS(f *frame.Frame) {
 		if f.HasAck && f.Ack >= p.Seq() {
 			// Piggybacked confirmation of the previous packet.
 			delete(m.pending, f.Src)
+			delete(m.pendingRetries, f.Src)
 			m.pol.OnSuccess(f.Src)
 			m.env.Callbacks.NotifySent(p)
 		} else {
 			// The previous packet never arrived: abandon this
 			// exchange (the receiver's WFDS will time out) and
-			// retransmit the lost packet first.
+			// retransmit the lost packet first. The retransmission
+			// must count against its own retry budget: the RTS-CTS
+			// leg succeeds on every lap of this loop, so the
+			// ordinary attempt counter (reset by each tentative
+			// completion) can never bound it, and a link whose data
+			// direction is dead would otherwise retry forever.
 			delete(m.pending, f.Src)
-			if q := m.queueFor(f.Src); q != nil {
+			m.stats.Retries++
+			m.pendingRetries[f.Src]++
+			if m.pendingRetries[f.Src] > m.env.Cfg.MaxRetries {
+				delete(m.pendingRetries, f.Src)
+				m.stats.Drops++
+				m.pol.OnGiveUp(f.Src)
+				m.env.Callbacks.NotifyDropped(p, mac.DropRetries)
+			} else if q := m.queueFor(f.Src); q != nil {
 				q.PushFront(p)
 			}
-			m.stats.Retries++
 			m.next()
 			return
 		}
@@ -856,6 +939,7 @@ func (m *MACAW) onACKTimeout() {
 func (m *MACAW) onACK(f *frame.Frame) {
 	if p := m.pending[f.Src]; p != nil && p.Seq() == f.Seq {
 		delete(m.pending, f.Src)
+		delete(m.pendingRetries, f.Src)
 		m.pol.OnSuccess(f.Src)
 		m.env.Callbacks.NotifySent(p)
 		return

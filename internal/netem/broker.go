@@ -2,6 +2,7 @@ package netem
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log"
 	"net"
@@ -67,22 +68,34 @@ func (b *Broker) logf(format string, args ...any) {
 	}
 }
 
-// Run serves until ctx is cancelled.
+// Run serves until ctx is cancelled, then closes the socket and waits for
+// the read loop to drain before returning.
 func (b *Broker) Run(ctx context.Context) error {
-	go b.readLoop(ctx)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		b.readLoop(ctx)
+	}()
 	b.s.RunRealtime(ctx, b.scale, b.inject)
-	return b.conn.Close()
+	err := b.conn.Close()
+	<-done
+	return err
 }
 
-// readLoop moves datagrams from the socket into the simulation loop.
+// readLoop moves datagrams from the socket into the simulation loop. Each
+// read carries its own deadline so cancellation is observed within
+// readTimeout even when the socket stays silent; malformed, oversized, or
+// unattributable datagrams are dropped without ever stopping the loop.
 func (b *Broker) readLoop(ctx context.Context) {
 	for ctx.Err() == nil {
-		buf, addr, err := readDatagram(b.conn)
+		buf, addr, err := readDeadline(b.conn)
 		if err != nil {
-			if ctx.Err() != nil {
-				return
+			if timeoutErr(err) {
+				continue
 			}
-			log.Printf("netem broker: read: %v", err)
+			if ctx.Err() == nil && !errors.Is(err, net.ErrClosed) {
+				log.Printf("netem broker: read: %v", err)
+			}
 			return
 		}
 		udpAddr, ok := addr.(*net.UDPAddr)
@@ -90,7 +103,7 @@ func (b *Broker) readLoop(ctx context.Context) {
 			continue
 		}
 		if isControl(buf) {
-			b.handleControl(buf, udpAddr)
+			b.handleControl(ctx, buf, udpAddr)
 			continue
 		}
 		f, err := frame.Unmarshal(buf)
@@ -98,19 +111,30 @@ func (b *Broker) readLoop(ctx context.Context) {
 			b.logf("broker: dropping undecodable datagram from %v: %v", addr, err)
 			continue
 		}
-		b.inject <- func() { b.transmit(f) }
+		select {
+		case b.inject <- func() { b.transmit(f) }:
+		case <-ctx.Done():
+			return
+		}
 	}
 }
 
-// handleControl processes a JOIN and acknowledges it.
-func (b *Broker) handleControl(buf []byte, addr *net.UDPAddr) {
+// handleControl processes a JOIN and acknowledges it. Both the hand-off into
+// the simulation loop and the wait for its completion select against ctx, so
+// a cancelled broker whose inject queue has stopped draining cannot wedge
+// the read loop.
+func (b *Broker) handleControl(ctx context.Context, buf []byte, addr *net.UDPAddr) {
+	if len(buf) > maxControl {
+		b.logf("broker: oversized control (%d bytes) from %v", len(buf), addr)
+		return
+	}
 	c, err := parseControl(buf)
 	if err != nil || c.Op != "join" {
 		b.logf("broker: bad control from %v: %v", addr, err)
 		return
 	}
 	done := make(chan struct{})
-	b.inject <- func() {
+	join := func() {
 		defer close(done)
 		b.mu.Lock()
 		defer b.mu.Unlock()
@@ -125,7 +149,16 @@ func (b *Broker) handleControl(buf []byte, addr *net.UDPAddr) {
 		b.members[c.ID] = m
 		b.logf("broker: %v joined at %v from %v", c.ID, c.pos(), addr)
 	}
-	<-done
+	select {
+	case b.inject <- join:
+	case <-ctx.Done():
+		return
+	}
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return
+	}
 	if _, err := b.conn.WriteToUDP(marshalControl(control{Op: "ok", ID: c.ID}), addr); err != nil {
 		log.Printf("netem broker: ack to %v: %v", addr, err)
 	}

@@ -16,8 +16,10 @@ package netem
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
+	"time"
 
 	"macaw/internal/frame"
 	"macaw/internal/geom"
@@ -73,7 +75,17 @@ func parseControl(b []byte) (control, error) {
 }
 
 // maxDatagram bounds a marshaled frame (512-byte payload plus header).
+// Larger datagrams are truncated by the read and then rejected by the frame
+// codec, so an oversized blast cannot allocate past this.
 const maxDatagram = 2048
+
+// maxControl bounds a JSON control message; the join struct marshals to
+// well under this, so anything bigger is junk.
+const maxControl = 512
+
+// readTimeout is the per-read deadline on broker and station sockets: the
+// longest a read loop can stay blind to context cancellation.
+const readTimeout = 250 * time.Millisecond
 
 // readDatagram reads one datagram into a fresh slice.
 func readDatagram(conn net.PacketConn) ([]byte, net.Addr, error) {
@@ -83,4 +95,19 @@ func readDatagram(conn net.PacketConn) ([]byte, net.Addr, error) {
 		return nil, nil, err
 	}
 	return buf[:n], addr, nil
+}
+
+// readDeadline reads one datagram with the per-read deadline applied.
+func readDeadline(conn *net.UDPConn) ([]byte, net.Addr, error) {
+	if err := conn.SetReadDeadline(time.Now().Add(readTimeout)); err != nil {
+		return nil, nil, err
+	}
+	return readDatagram(conn)
+}
+
+// timeoutErr reports whether err is a read-deadline expiry (retry) rather
+// than a real socket failure (stop).
+func timeoutErr(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }

@@ -1,7 +1,9 @@
 package netem
 
 import (
+	"bytes"
 	"context"
+	"net"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -119,6 +121,77 @@ func TestControlCodec(t *testing.T) {
 	if isControl(fb) {
 		t.Fatal("frame misclassified as control")
 	}
+}
+
+// TestGracefulShutdown: cancelling the context must return both Run loops
+// promptly — sockets closed, read loops drained — not leave them blocked in
+// a read forever.
+func TestGracefulShutdown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	b := startBroker(t, ctx)
+	st, err := NewStation(b.Addr().String(), 1, geom.V(0, 0, 6), testScale, EmuConfig(),
+		func(env *mac.Env) mac.MAC { return macaw.New(env, macaw.DefaultOptions()) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	stDone := make(chan error, 1)
+	go func() { stDone <- st.Run(ctx) }()
+
+	time.Sleep(100 * time.Millisecond)
+	cancel()
+	select {
+	case <-stDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("station Run did not return after cancel")
+	}
+	// The broker socket must actually be closed: a fresh join gets no ack.
+	if _, err := NewStation(b.Addr().String(), 2, geom.V(0, 0, 6), testScale, EmuConfig(),
+		func(env *mac.Env) mac.MAC { return macaw.New(env, macaw.DefaultOptions()) }); err == nil {
+		t.Fatal("join succeeded against a shut-down broker")
+	}
+}
+
+// TestBrokerSurvivesJunkDatagrams: malformed frames, truncated joins, and
+// oversized blasts must be dropped without killing the read loop — a
+// legitimate join afterwards still succeeds.
+func TestBrokerSurvivesJunkDatagrams(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	b := startBroker(t, ctx)
+
+	raddr, err := net.ResolveUDPAddr("udp", b.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.DialUDP("udp", nil, raddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	junk := [][]byte{
+		{},                                       // empty
+		{0x00, 0x01, 0x02},                       // not control, not a frame
+		[]byte("{nonsense"),                      // malformed control
+		[]byte(`{"op":"bogus"}`),                 // unknown op
+		bytes.Repeat([]byte{'{'}, 4*maxDatagram), // oversized control blast
+		bytes.Repeat([]byte{'M'}, 4*maxDatagram), // oversized frame blast
+	}
+	if f, _ := (&frame.Frame{Type: frame.RTS, Src: 1, Dst: 2}).Marshal(); len(f) > 4 {
+		junk = append(junk, f[:len(f)-3]) // truncated real frame
+	}
+	for _, d := range junk {
+		if _, err := conn.Write(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The broker must still be serving: a real join succeeds.
+	st, err := NewStation(b.Addr().String(), 9, geom.V(0, 0, 6), testScale, EmuConfig(),
+		func(env *mac.Env) mac.MAC { return macaw.New(env, macaw.DefaultOptions()) })
+	if err != nil {
+		t.Fatalf("join after junk barrage failed: %v", err)
+	}
+	st.conn.Close()
 }
 
 func TestRejoinUpdatesAddress(t *testing.T) {

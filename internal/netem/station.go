@@ -2,6 +2,7 @@ package netem
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log"
 	"net"
@@ -151,21 +152,30 @@ func (st *Station) Enqueue(p *mac.Packet) {
 	st.inject <- func() { st.mac.Enqueue(p) }
 }
 
-// Run drives the station until ctx is cancelled.
+// Run drives the station until ctx is cancelled, then closes the socket and
+// waits for the read loop to drain before returning.
 func (st *Station) Run(ctx context.Context) error {
-	go st.readLoop(ctx)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		st.readLoop(ctx)
+	}()
 	st.s.RunRealtime(ctx, st.scale, st.inject)
-	return st.conn.Close()
+	err := st.conn.Close()
+	<-done
+	return err
 }
 
 func (st *Station) readLoop(ctx context.Context) {
 	for ctx.Err() == nil {
-		buf, _, err := readDatagram(st.conn)
+		buf, _, err := readDeadline(st.conn)
 		if err != nil {
-			if ctx.Err() != nil {
-				return
+			if timeoutErr(err) {
+				continue
 			}
-			log.Printf("netem station %v: read: %v", st.id, err)
+			if ctx.Err() == nil && !errors.Is(err, net.ErrClosed) {
+				log.Printf("netem station %v: read: %v", st.id, err)
+			}
 			return
 		}
 		if isControl(buf) {
@@ -176,10 +186,14 @@ func (st *Station) readLoop(ctx context.Context) {
 			log.Printf("netem station %v: bad frame: %v", st.id, err)
 			continue
 		}
-		st.inject <- func() {
+		select {
+		case st.inject <- func() {
 			if st.radio.handler != nil && !st.radio.Transmitting() {
 				st.radio.handler.RadioReceive(f)
 			}
+		}:
+		case <-ctx.Done():
+			return
 		}
 	}
 }

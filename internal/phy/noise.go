@@ -5,6 +5,7 @@ import (
 
 	"macaw/internal/frame"
 	"macaw/internal/geom"
+	"macaw/internal/sim"
 )
 
 // NoiseModel decides whether an otherwise-clean reception is corrupted by
@@ -58,6 +59,114 @@ type RegionLoss struct {
 // Corrupts implements NoiseModel.
 func (n RegionLoss) Corrupts(r *rand.Rand, rx *Radio, _ *frame.Frame) bool {
 	return n.InRegion != nil && n.InRegion(rx.Pos()) && r.Float64() < n.P
+}
+
+// LinkLoss drops receptions of frames from From at radio To with
+// probability P — an asymmetric-link fault: the To→From direction is
+// unaffected, so handshakes in which each direction matters (CTS returning
+// to an RTS sender, ACK returning to a data sender) see one-way loss.
+type LinkLoss struct {
+	From, To frame.NodeID
+	P        float64
+}
+
+// Corrupts implements NoiseModel.
+func (n LinkLoss) Corrupts(r *rand.Rand, rx *Radio, f *frame.Frame) bool {
+	return rx.ID() == n.To && f.Src == n.From && r.Float64() < n.P
+}
+
+// GilbertElliott is the classic two-state Markov burst-loss channel: the
+// channel alternates between a Good state (loss probability PGood, usually
+// zero) and a Bad state (loss probability PBad, usually near one), with
+// exponentially distributed dwell times. Unlike DestLoss/UniformLoss the
+// losses are temporally correlated — whole exchanges disappear during a bad
+// episode — which is the regime where retry budgets and backoff state are
+// actually stressed.
+//
+// The state trajectory is a pure function of the simulation clock and the
+// model's own seeded generator: packet arrivals sample the trajectory but do
+// not perturb it, so two runs with the same seed see identical episodes.
+type GilbertElliott struct {
+	s   *sim.Simulator
+	rng *rand.Rand
+	// PGood and PBad are the per-packet loss probabilities in each state.
+	PGood, PBad float64
+	// MeanGood and MeanBad are the mean dwell times of each state.
+	MeanGood, MeanBad sim.Duration
+	// DestOnly restricts losses to each frame's intended destination,
+	// matching the paper's noise semantics; false corrupts overhears too.
+	DestOnly bool
+
+	bad      bool
+	next     sim.Time
+	started  bool
+	episodes int
+}
+
+// NewGilbertElliott returns a burst-loss channel driven by s's clock. The
+// dwell-time generator is drawn from the simulator so the episode schedule
+// is reproducible per seed.
+func NewGilbertElliott(s *sim.Simulator, pGood, pBad float64, meanGood, meanBad sim.Duration) *GilbertElliott {
+	if meanGood <= 0 || meanBad <= 0 {
+		panic("phy: non-positive Gilbert-Elliott dwell time")
+	}
+	return &GilbertElliott{
+		s: s, rng: s.NewRand(),
+		PGood: pGood, PBad: pBad,
+		MeanGood: meanGood, MeanBad: meanBad,
+		DestOnly: true,
+	}
+}
+
+// Episodes reports how many bad-state episodes have begun so far.
+func (g *GilbertElliott) Episodes() int { return g.episodes }
+
+// Bad reports whether the channel is currently in the bad state (advancing
+// the trajectory to now first).
+func (g *GilbertElliott) Bad() bool { g.advance(); return g.bad }
+
+// dwell draws an exponential dwell time for the current state.
+func (g *GilbertElliott) dwell() sim.Duration {
+	mean := g.MeanGood
+	if g.bad {
+		mean = g.MeanBad
+	}
+	d := sim.Duration(g.rng.ExpFloat64() * float64(mean))
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// advance walks the state trajectory up to the current simulation time.
+func (g *GilbertElliott) advance() {
+	if !g.started {
+		g.started = true
+		g.next = g.s.Now() + g.dwell()
+	}
+	for g.s.Now() >= g.next {
+		g.bad = !g.bad
+		if g.bad {
+			g.episodes++
+		}
+		g.next += g.dwell()
+	}
+}
+
+// Corrupts implements NoiseModel.
+func (g *GilbertElliott) Corrupts(r *rand.Rand, rx *Radio, f *frame.Frame) bool {
+	if g.DestOnly && rx.ID() != f.Dst {
+		return false
+	}
+	g.advance()
+	p := g.PGood
+	if g.bad {
+		p = g.PBad
+	}
+	if p <= 0 {
+		return false
+	}
+	return r.Float64() < p
 }
 
 // MultiNoise combines several models; a reception is corrupted if any

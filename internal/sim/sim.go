@@ -336,6 +336,17 @@ func (s *Simulator) Stop() { s.stopped = true }
 // events that have not yet been discarded).
 func (s *Simulator) Pending() int { return len(s.queue) }
 
+// NextEventTime reports the firing time of the earliest live (uncancelled)
+// pending event. ok is false when nothing is scheduled — the introspection a
+// liveness watchdog needs to tell "quiet until t" from "wedged forever".
+func (s *Simulator) NextEventTime() (t Time, ok bool) {
+	s.purge()
+	if len(s.queue) == 0 {
+		return 0, false
+	}
+	return s.queue[0].when, true
+}
+
 // purge discards cancelled events from the head of the queue so that
 // queue[0], when present, is always a live event; when cancelled events
 // outnumber live ones it compacts the whole heap, so long runs with many

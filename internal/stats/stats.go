@@ -4,8 +4,10 @@
 package stats
 
 import (
+	"fmt"
 	"math"
 	"sort"
+	"strings"
 
 	"macaw/internal/sim"
 )
@@ -160,4 +162,50 @@ func (ts *TimeSeries) Rate() []float64 {
 		out[i] = PPS(c, ts.width)
 	}
 	return out
+}
+
+// FaultCounters aggregates fault-injection and watchdog activity over a run,
+// so chaos tables can report fault exposure alongside throughput and
+// fairness.
+type FaultCounters struct {
+	// Crashes and Restarts count node failure events.
+	Crashes, Restarts int
+	// BurstEpisodes counts bad-state episodes of burst-loss channels.
+	BurstEpisodes int
+	// LinkFaults counts asymmetric-link fault installations.
+	LinkFaults int
+	// Moves counts mobility-walk relocation steps.
+	Moves int
+	// WatchdogChecks counts liveness sweeps the watchdog completed.
+	WatchdogChecks int
+}
+
+// Add accumulates o into f.
+func (f *FaultCounters) Add(o FaultCounters) {
+	f.Crashes += o.Crashes
+	f.Restarts += o.Restarts
+	f.BurstEpisodes += o.BurstEpisodes
+	f.LinkFaults += o.LinkFaults
+	f.Moves += o.Moves
+	f.WatchdogChecks += o.WatchdogChecks
+}
+
+// String renders the counters compactly, omitting zero fields.
+func (f FaultCounters) String() string {
+	parts := make([]string, 0, 6)
+	add := func(name string, v int) {
+		if v != 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", name, v))
+		}
+	}
+	add("crashes", f.Crashes)
+	add("restarts", f.Restarts)
+	add("bursts", f.BurstEpisodes)
+	add("linkfaults", f.LinkFaults)
+	add("moves", f.Moves)
+	add("checks", f.WatchdogChecks)
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, " ")
 }

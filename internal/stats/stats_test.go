@@ -165,3 +165,16 @@ func TestQuickPercentileMonotone(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestFaultCountersStringAndAdd(t *testing.T) {
+	var f FaultCounters
+	if got := f.String(); got != "none" {
+		t.Fatalf("zero counters = %q", got)
+	}
+	f.Add(FaultCounters{Crashes: 1, Moves: 3})
+	f.Add(FaultCounters{Restarts: 1, Moves: 1, WatchdogChecks: 40})
+	want := "crashes=1 restarts=1 moves=4 checks=40"
+	if got := f.String(); got != want {
+		t.Fatalf("counters = %q, want %q", got, want)
+	}
+}
