@@ -11,6 +11,7 @@ import (
 	"macaw/internal/mac/macaw"
 	"macaw/internal/phy"
 	"macaw/internal/sim"
+	"macaw/internal/topo"
 )
 
 // One benchmark per table of the paper's evaluation. Each iteration
@@ -185,6 +186,41 @@ func BenchmarkExtMulticast(b *testing.B) {
 	b.ReportMetric(float64(r.NearDelivered)/float64(r.Sent), "near-ratio")
 	b.ReportMetric(float64(r.FarDelivered)/float64(r.Sent), "far-ratio")
 }
+
+// benchScale measures how per-event medium cost scales with station count:
+// a building-sized clustered topology (one upstream stream per pad) run
+// with the neighborhood index against the same topology forced onto the
+// exhaustive all-radios paths. Both modes simulate the identical event
+// sequence (the index is bit-exact), so the ns/op ratio is pure per-event
+// cost. avg-nbr is the mean neighborhood size the indexed cost tracks.
+func benchScale(b *testing.B, stations int) {
+	for _, mode := range []string{"indexed", "exhaustive"} {
+		mode := mode
+		b.Run(mode, func(b *testing.B) {
+			var pps, nbr float64
+			for i := 0; i < b.N; i++ {
+				net := core.NewNetwork(int64(i + 1))
+				if mode == "exhaustive" {
+					net.Medium.SetExhaustive(true)
+				}
+				l := topo.Random(topo.RandomSpec{N: stations, Seed: 42, Clustered: true})
+				if err := l.Build(net, core.MACAWFactory(macaw.DefaultOptions())); err != nil {
+					b.Fatal(err)
+				}
+				res := net.Run(4*sim.Second, 1*sim.Second)
+				pps = res.TotalPPS()
+				nbr = net.Medium.AvgNeighbors()
+			}
+			b.ReportMetric(pps, "pps")
+			b.ReportMetric(nbr, "avg-nbr")
+		})
+	}
+}
+
+func BenchmarkScaleN50(b *testing.B)   { benchScale(b, 50) }
+func BenchmarkScaleN200(b *testing.B)  { benchScale(b, 200) }
+func BenchmarkScaleN500(b *testing.B)  { benchScale(b, 500) }
+func BenchmarkScaleN1000(b *testing.B) { benchScale(b, 1000) }
 
 // BenchmarkSimulatorEventRate measures raw simulator throughput: simulated
 // exchanges per wall-clock second on a saturated single cell.

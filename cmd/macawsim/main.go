@@ -3,6 +3,7 @@
 // Usage:
 //
 //	macawsim [-table table1..table11|all] [-chaos] [-total SECONDS] [-warmup SECONDS] [-seed N] [-paper] [-jobs N]
+//	         [-cpuprofile FILE] [-memprofile FILE]
 //
 // Each table prints the paper's reported packets-per-second next to this
 // reproduction's measurements. -paper selects the paper's 500 s run length;
@@ -18,6 +19,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"macaw/internal/experiments"
@@ -33,7 +36,38 @@ func main() {
 	format := flag.String("format", "text", "output format: text or csv")
 	jobs := flag.Int("jobs", 1, "number of simulations to run concurrently (output is identical for any value)")
 	chaos := flag.Bool("chaos", false, "emit the fault-injection robustness table instead of the paper tables")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "macawsim: -cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "macawsim: -cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "macawsim: -memprofile: %v\n", err)
+				os.Exit(2)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "macawsim: -memprofile: %v\n", err)
+				os.Exit(2)
+			}
+		}()
+	}
 
 	cfg := experiments.Quick()
 	if *paper {

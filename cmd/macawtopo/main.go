@@ -1,9 +1,11 @@
 // Command macawtopo inspects the paper's network configurations: station
-// placement, the realized hearing graph, and the declared streams.
+// placement, the realized hearing graph, and the declared streams. It also
+// generates seeded synthetic large topologies for scaling studies.
 //
 // Usage:
 //
 //	macawtopo [-figure figure1..figure11]
+//	macawtopo -rand N [-seed N] [-mode uniform|cluster] [-area FT] [-rate PPS]
 package main
 
 import (
@@ -18,7 +20,28 @@ import (
 
 func main() {
 	figure := flag.String("figure", "", "figure to inspect (default: all)")
+	randN := flag.Int("rand", 0, "generate a seeded random topology with N stations instead of a figure")
+	seed := flag.Int64("seed", 1, "random-topology seed")
+	mode := flag.String("mode", "cluster", "random placement: uniform or cluster")
+	area := flag.Float64("area", 0, "random-topology floor side in feet (0 = density-preserving default)")
+	rate := flag.Float64("rate", 0, "random-topology per-stream offered load in pps (0 = default)")
 	flag.Parse()
+
+	if *randN > 0 {
+		if *mode != "uniform" && *mode != "cluster" {
+			fmt.Fprintf(os.Stderr, "macawtopo: unknown -mode %q (uniform or cluster)\n", *mode)
+			os.Exit(2)
+		}
+		l := topo.Random(topo.RandomSpec{
+			N:         *randN,
+			Seed:      *seed,
+			Clustered: *mode == "cluster",
+			AreaFt:    *area,
+			Rate:      *rate,
+		})
+		showRandom(l)
+		return
+	}
 
 	layouts := topo.All()
 	var names []string
@@ -38,6 +61,42 @@ func main() {
 	for _, name := range names {
 		show(layouts[name])
 	}
+}
+
+// showRandom summarizes a generated topology: station/stream counts and the
+// hearing-degree distribution, the quantity the medium's neighborhood index
+// scales with. Full per-station listings would be unreadable at N=1000.
+func showRandom(l topo.Layout) {
+	fmt.Printf("%s — %s\n", l.Name, l.Doc)
+	n := core.NewNetwork(1)
+	if err := l.Build(n, core.MACAFactory()); err != nil {
+		fmt.Printf("  BUILD ERROR: %v\n", err)
+		return
+	}
+	bases := 0
+	for _, s := range l.Stations {
+		if s.Base {
+			bases++
+		}
+	}
+	fmt.Printf("  stations: %d (%d bases, %d pads), streams: %d\n",
+		len(l.Stations), bases, len(l.Stations)-bases, len(l.Streams))
+	g := n.HearingGraph()
+	minDeg, maxDeg, sum := len(l.Stations), 0, 0
+	for _, heard := range g {
+		d := len(heard)
+		sum += d
+		if d < minDeg {
+			minDeg = d
+		}
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	fmt.Printf("  hearing degree: min %d, mean %.1f, max %d\n",
+		minDeg, float64(sum)/float64(len(g)), maxDeg)
+	fmt.Printf("  medium neighborhood: index=%v, avg %.1f of %d radios\n",
+		n.Medium.IndexEnabled(), n.Medium.AvgNeighbors(), len(l.Stations))
 }
 
 func show(l topo.Layout) {

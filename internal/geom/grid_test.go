@@ -1,0 +1,102 @@
+package geom
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// queryIDs collects a sorted query result.
+func queryIDs(g *Grid, p Vec3, r float64) []int32 {
+	var out []int32
+	g.ForEachWithin(p, r, func(id int32) { out = append(out, id) })
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func TestGridQueryIsSupersetOfBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		cell := 1 + rng.Float64()*30
+		g := NewGrid(cell)
+		n := 1 + rng.Intn(80)
+		pos := make([]Vec3, n)
+		for i := range pos {
+			pos[i] = V(rng.Float64()*200-100, rng.Float64()*200-100, rng.Float64()*30)
+			g.Insert(int32(i), pos[i])
+		}
+		for q := 0; q < 20; q++ {
+			p := V(rng.Float64()*220-110, rng.Float64()*220-110, rng.Float64()*40-5)
+			r := rng.Float64() * 2 * cell
+			got := map[int32]bool{}
+			g.ForEachWithin(p, r, func(id int32) { got[id] = true })
+			for i := range pos {
+				if pos[i].Dist(p) <= r && !got[int32(i)] {
+					t.Fatalf("trial %d: member %d at dist %.2f <= r=%.2f not visited",
+						trial, i, pos[i].Dist(p), r)
+				}
+			}
+		}
+	}
+}
+
+func TestGridMoveTracksMembership(t *testing.T) {
+	g := NewGrid(10)
+	g.Insert(1, V(0, 0, 0))
+	g.Insert(2, V(5, 5, 5))
+	g.Move(1, V(0, 0, 0), V(55, 0, 0))
+	got := queryIDs(g, V(55, 0, 0), 1)
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("after move, query at destination = %v, want [1]", got)
+	}
+	for _, id := range queryIDs(g, V(0, 0, 0), 1) {
+		if id == 1 {
+			t.Fatal("moved member still visited from its old cell")
+		}
+	}
+	// In-cell move keeps membership.
+	g.Move(2, V(5, 5, 5), V(6, 6, 6))
+	got = queryIDs(g, V(6, 6, 6), 2)
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("after in-cell move, query = %v, want [2]", got)
+	}
+}
+
+func TestGridRemove(t *testing.T) {
+	g := NewGrid(10)
+	g.Insert(1, V(0, 0, 0))
+	g.Insert(2, V(1, 1, 1))
+	g.Remove(1, V(0, 0, 0))
+	if g.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", g.Len())
+	}
+	got := queryIDs(g, V(0, 0, 0), 5)
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("query after remove = %v, want [2]", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("removing an absent member did not panic")
+		}
+	}()
+	g.Remove(1, V(0, 0, 0))
+}
+
+func TestGridNegativeRadiusVisitsNothing(t *testing.T) {
+	g := NewGrid(10)
+	g.Insert(1, V(0, 0, 0))
+	g.ForEachWithin(V(0, 0, 0), -1, func(int32) { t.Fatal("visited with negative radius") })
+}
+
+func TestNewGridRejectsBadCellSize(t *testing.T) {
+	for _, size := range []float64{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewGrid(%v) did not panic", size)
+				}
+			}()
+			NewGrid(size)
+		}()
+	}
+}

@@ -13,10 +13,26 @@ func (f GainFunc) Gain(src, dst geom.Vec3) float64 { return f(src, dst) }
 // stations are either in-range or out-of-range": full power within rangeFt,
 // nothing beyond.
 func BooleanRange(rangeFt float64) Propagation {
-	return GainFunc(func(src, dst geom.Vec3) float64 {
-		if src.Dist(dst) <= rangeFt {
-			return 1
-		}
-		return 0
-	})
+	return booleanRange{rangeFt: rangeFt}
+}
+
+// booleanRange is the boolean in-range model. It is a named type (rather
+// than a GainFunc closure) so it can certify a range bound and benefit from
+// the medium's neighborhood index.
+type booleanRange struct{ rangeFt float64 }
+
+// Gain implements Propagation.
+func (b booleanRange) Gain(src, dst geom.Vec3) float64 {
+	if src.Dist(dst) <= b.rangeFt {
+		return 1
+	}
+	return 0
+}
+
+// RangeFor implements Bounded: the gain is exactly zero beyond rangeFt.
+func (b booleanRange) RangeFor(floor float64) (float64, bool) {
+	if floor <= 0 {
+		return 0, false
+	}
+	return b.rangeFt, true
 }

@@ -34,17 +34,29 @@ type Params struct {
 	// CubeGrid, when true, quantizes receiver positions to the centers
 	// of 1-cubic-foot cubes, exactly like the paper's simulator.
 	CubeGrid bool
+	// NegligibleDB sets the medium's negligibility floor: received power
+	// more than NegligibleDB below the reception threshold is treated as
+	// exactly zero. The floor is what makes the neighborhood index exact —
+	// a radio beyond the floor's range contributes nothing at all, so
+	// skipping it is bit-identical to summing it. Non-positive values (and
+	// propagation models that cannot certify a range for the floor)
+	// disable both the floor and the index, restoring exhaustive
+	// iteration. The default of 60 dB puts the floor a factor of 10^6
+	// below the weakest power any reception, capture, or carrier decision
+	// compares against.
+	NegligibleDB float64
 }
 
 // DefaultParams returns the paper's radio configuration.
 func DefaultParams() Params {
 	return Params{
-		BitrateBPS: 256000,
-		Gamma:      6,
-		RangeFt:    10,
-		CaptureDB:  10,
-		MinDist:    0.25,
-		CubeGrid:   true,
+		BitrateBPS:   256000,
+		Gamma:        6,
+		RangeFt:      10,
+		CaptureDB:    10,
+		MinDist:      0.25,
+		CubeGrid:     true,
+		NegligibleDB: 60,
 	}
 }
 
@@ -59,6 +71,17 @@ func (p Params) CaptureRatio() float64 { return math.Pow(10, p.CaptureDB/10) }
 // transmitter at src.
 type Propagation interface {
 	Gain(src, dst geom.Vec3) float64
+}
+
+// Bounded is an optional Propagation extension: models that can certify a
+// finite range for any positive power floor. RangeFor must return a distance
+// d such that Gain(src, dst) < floor (in both directions) whenever the
+// endpoints are more than d apart; ok is false when no such certificate
+// exists (floor <= 0, or the model is unbounded). The medium's neighborhood
+// index exists only for Bounded models — without a certificate, every radio
+// must be assumed audible everywhere.
+type Bounded interface {
+	RangeFor(floor float64) (d float64, ok bool)
 }
 
 // NearField is the r^-γ near-field decay model.
@@ -76,6 +99,19 @@ func (n NearField) Gain(src, dst geom.Vec3) float64 {
 	return math.Pow(d, -n.Gamma)
 }
 
+// RangeFor implements Bounded: beyond floor^(-1/Gamma) the r^-γ decay is
+// strictly below floor.
+func (n NearField) RangeFor(floor float64) (float64, bool) {
+	if floor <= 0 || n.Gamma <= 0 {
+		return 0, false
+	}
+	d := math.Pow(floor, -1/n.Gamma)
+	if d < n.MinDist {
+		d = n.MinDist
+	}
+	return d, true
+}
+
 // CubeQuantized wraps a propagation model, quantizing both endpoints to the
 // centers of their 1-cubic-foot grid cubes before evaluating the inner
 // model — the paper's simulator "approximates the media by dividing the
@@ -90,6 +126,21 @@ type CubeQuantized struct {
 // Gain implements Propagation.
 func (c CubeQuantized) Gain(src, dst geom.Vec3) float64 {
 	return c.Inner.Gain(geom.Quantize(src), geom.Quantize(dst))
+}
+
+// RangeFor implements Bounded: quantization displaces each endpoint by at
+// most half a cube diagonal, so the inner model's certificate widened by one
+// full diagonal still bounds the quantized gain.
+func (c CubeQuantized) RangeFor(floor float64) (float64, bool) {
+	b, ok := c.Inner.(Bounded)
+	if !ok {
+		return 0, false
+	}
+	d, ok := b.RangeFor(floor)
+	if !ok {
+		return 0, false
+	}
+	return d + 2*geom.MaxQuantizationError, true
 }
 
 // NewPropagation builds the propagation model implied by p.

@@ -1,0 +1,128 @@
+package topo
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"macaw/internal/core"
+	"macaw/internal/geom"
+)
+
+// RandomSpec parameterizes a seeded synthetic large-topology generator,
+// used by the scaling benchmarks and by cmd/macawtopo -rand. The generated
+// layouts are deterministic in Seed: the same spec always produces the same
+// layout, so benchmark runs and differential tests are reproducible.
+type RandomSpec struct {
+	// N is the total number of stations (bases + pads).
+	N int
+	// Seed drives every random choice.
+	Seed int64
+	// Clustered places pads around their base station within CellRadiusFt
+	// (an office building of nanocells); false scatters pads uniformly
+	// over the whole area.
+	Clustered bool
+	// AreaFt is the side of the square floor plan. Zero derives a side
+	// that keeps station density roughly constant as N grows (about one
+	// station per 20x20 ft office bay), so larger N means a larger
+	// building rather than a denser one — the regime where radio
+	// neighborhoods stay local while the station count climbs.
+	AreaFt float64
+	// PadsPerBase sets the base:pad ratio (default 7 pads per base).
+	PadsPerBase int
+	// Rate is the per-stream offered load in packets per second
+	// (default 8).
+	Rate float64
+	// CellRadiusFt bounds pad placement around a base when Clustered
+	// (default 8, the paper's one-cell hearing distance).
+	CellRadiusFt float64
+}
+
+func (s RandomSpec) withDefaults() RandomSpec {
+	if s.PadsPerBase <= 0 {
+		s.PadsPerBase = 7
+	}
+	if s.Rate <= 0 {
+		s.Rate = 8
+	}
+	if s.CellRadiusFt <= 0 {
+		s.CellRadiusFt = 8
+	}
+	if s.AreaFt <= 0 {
+		s.AreaFt = math.Sqrt(float64(s.N) * 400)
+	}
+	return s
+}
+
+// Random generates a building-scale layout: base stations on a jittered
+// coarse grid at ceiling height, pads at desk height, and one upstream UDP
+// stream per pad toward its nearest base. No hearing relations are pinned —
+// the geometry is synthetic, not from the paper.
+func Random(spec RandomSpec) Layout {
+	spec = spec.withDefaults()
+	if spec.N < 2 {
+		panic("topo: Random needs at least 2 stations")
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	nBases := spec.N / (spec.PadsPerBase + 1)
+	if nBases < 1 {
+		nBases = 1
+	}
+	nPads := spec.N - nBases
+
+	l := Layout{
+		Name: fmt.Sprintf("rand-n%d-s%d", spec.N, spec.Seed),
+		Doc: fmt.Sprintf("seeded synthetic topology: %d bases, %d pads over %.0fx%.0f ft",
+			nBases, nPads, spec.AreaFt, spec.AreaFt),
+	}
+
+	// Bases on a jittered √nBases × √nBases grid, so coverage is roughly
+	// uniform no matter the seed.
+	side := int(math.Ceil(math.Sqrt(float64(nBases))))
+	pitch := spec.AreaFt / float64(side)
+	basePos := make([]geom.Vec3, 0, nBases)
+	for i := 0; i < nBases; i++ {
+		cx := (float64(i%side) + 0.5) * pitch
+		cy := (float64(i/side) + 0.5) * pitch
+		jitter := pitch * 0.2
+		p := geom.V(
+			cx+(rng.Float64()*2-1)*jitter,
+			cy+(rng.Float64()*2-1)*jitter,
+			12)
+		basePos = append(basePos, p)
+		l.Stations = append(l.Stations, StationSpec{
+			Name: fmt.Sprintf("B%d", i+1), Pos: p, Base: true,
+		})
+	}
+
+	for i := 0; i < nPads; i++ {
+		var p geom.Vec3
+		if spec.Clustered {
+			// Around a (seeded) random base, within the cell radius.
+			b := basePos[rng.Intn(nBases)]
+			ang := rng.Float64() * 2 * math.Pi
+			rad := spec.CellRadiusFt * math.Sqrt(rng.Float64())
+			p = geom.V(b.X+rad*math.Cos(ang), b.Y+rad*math.Sin(ang), 6)
+		} else {
+			p = geom.V(rng.Float64()*spec.AreaFt, rng.Float64()*spec.AreaFt, 6)
+		}
+		name := fmt.Sprintf("P%d", i+1)
+		l.Stations = append(l.Stations, StationSpec{Name: name, Pos: p})
+
+		// One upstream stream per pad toward the nearest base. Start
+		// times are staggered over the first second so the whole
+		// building does not contend in lockstep.
+		best, bestD := 0, math.Inf(1)
+		for bi, bp := range basePos {
+			if d := bp.Dist(p); d < bestD {
+				best, bestD = bi, d
+			}
+		}
+		l.Streams = append(l.Streams, StreamSpec{
+			From: name, To: fmt.Sprintf("B%d", best+1),
+			Kind: core.UDP, Rate: spec.Rate,
+			StartSec: rng.Float64(),
+		})
+	}
+	return l
+}

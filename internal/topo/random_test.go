@@ -1,0 +1,66 @@
+package topo
+
+import (
+	"reflect"
+	"testing"
+
+	"macaw/internal/core"
+	"macaw/internal/mac/macaw"
+	"macaw/internal/sim"
+)
+
+func TestRandomDeterministic(t *testing.T) {
+	spec := RandomSpec{N: 40, Seed: 11, Clustered: true}
+	a, b := Random(spec), Random(spec)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same spec produced different layouts")
+	}
+	c := Random(RandomSpec{N: 40, Seed: 12, Clustered: true})
+	if reflect.DeepEqual(a.Stations, c.Stations) {
+		t.Fatal("different seeds produced identical station placement")
+	}
+}
+
+func TestRandomShape(t *testing.T) {
+	for _, clustered := range []bool{false, true} {
+		l := Random(RandomSpec{N: 50, Seed: 3, Clustered: clustered})
+		if len(l.Stations) != 50 {
+			t.Fatalf("clustered=%v: %d stations, want 50", clustered, len(l.Stations))
+		}
+		bases := 0
+		for _, s := range l.Stations {
+			if s.Base {
+				bases++
+			}
+		}
+		if bases != 50/8 {
+			t.Fatalf("clustered=%v: %d bases, want %d", clustered, bases, 50/8)
+		}
+		if len(l.Streams) != 50-bases {
+			t.Fatalf("clustered=%v: %d streams, want one per pad (%d)",
+				clustered, len(l.Streams), 50-bases)
+		}
+		for _, st := range l.Streams {
+			if st.Rate <= 0 {
+				t.Fatalf("stream %s-%s has rate %v", st.From, st.To, st.Rate)
+			}
+		}
+	}
+}
+
+func TestRandomBuilds(t *testing.T) {
+	n := core.NewNetwork(1)
+	l := Random(RandomSpec{N: 30, Seed: 7, Clustered: true})
+	if err := l.Build(n, core.MACAWFactory(macaw.Options{})); err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if got := len(n.Stations()); got != 30 {
+		t.Fatalf("network has %d stations, want 30", got)
+	}
+	// A clustered layout at this density should leave the medium's
+	// neighborhood index active and non-degenerate.
+	if !n.Medium.IndexEnabled() {
+		t.Fatal("index disabled under default params")
+	}
+	n.Sim.Run(sim.FromSeconds(2))
+}

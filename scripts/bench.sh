@@ -1,22 +1,31 @@
 #!/usr/bin/env bash
-# bench.sh — snapshot the performance trajectory into BENCH_PR1.json.
+# bench.sh — snapshot the performance trajectory into BENCH_PR3.json.
 #
 # Emits, for every paper table, the benchmark's ns/op (simulator speed) and
-# pps (protocol behaviour — must not move at a fixed seed), plus wall-clock
-# times for `macawsim -jobs N` so the runner's scaling is on record.
+# pps (protocol behaviour — must not move at a fixed seed), wall-clock
+# times for `macawsim -jobs N` so the runner's scaling is on record, and the
+# BenchmarkScaleN* sweep comparing the neighborhood-indexed medium against
+# the exhaustive all-radios paths on building-sized topologies (both modes
+# simulate the identical event sequence, so pps must match exactly and the
+# ns/op ratio is pure per-event cost).
 #
-# Usage: scripts/bench.sh [output.json]   (default BENCH_PR1.json)
+# Usage: scripts/bench.sh [output.json]   (default BENCH_PR3.json)
 set -eu
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR1.json}"
+out="${1:-BENCH_PR3.json}"
 benchtime="${BENCHTIME:-5x}"
+scale_benchtime="${SCALE_BENCHTIME:-1x}"
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 
 echo "running per-table benchmarks (-benchtime $benchtime)..." >&2
 go test -run '^$' -bench 'BenchmarkTable[0-9]+$|BenchmarkAllTables' \
     -benchtime "$benchtime" . | tee "$tmp/bench.txt" >&2
+
+echo "running scaling benchmarks (-benchtime $scale_benchtime)..." >&2
+go test -run '^$' -bench 'BenchmarkScaleN[0-9]+' -timeout 60m \
+    -benchtime "$scale_benchtime" . | tee "$tmp/scale.txt" >&2
 
 echo "timing macawsim -jobs scaling..." >&2
 go build -o "$tmp/macawsim" ./cmd/macawsim
@@ -33,17 +42,29 @@ done
 echo "-jobs output byte-identical across 1/2/4 workers" >&2
 
 awk -v nproc="$(nproc)" '
-BEGIN { n = 0; m = 0 }
-FNR == NR && $1 ~ /^Benchmark/ {
+BEGIN { n = 0; m = 0; s = 0 }
+# bench.txt: per-table simulator benchmarks.
+FILENAME ~ /bench\.txt$/ && $1 ~ /^Benchmark/ {
     name = $1; sub(/-[0-9]+$/, "", name); sub(/^Benchmark/, "", name)
     ns[name] = $3
     for (i = 4; i < NF; i++) if ($(i + 1) == "pps") pps[name] = $i
     order[n++] = name
     next
 }
-FNR != NR { jobs_n[m] = $1; jobs_ms[m] = $2; m++ }
+# scale.txt: indexed-vs-exhaustive medium scaling sweep.
+FILENAME ~ /scale\.txt$/ && $1 ~ /^BenchmarkScale/ {
+    name = $1; sub(/-[0-9]+$/, "", name); sub(/^Benchmark/, "", name)
+    sns[name] = $3
+    for (i = 4; i < NF; i++) {
+        if ($(i + 1) == "pps") spps[name] = $i
+        if ($(i + 1) == "avg-nbr") snbr[name] = $i
+    }
+    sorder[s++] = name
+    next
+}
+FILENAME ~ /jobs\.txt$/ { jobs_n[m] = $1; jobs_ms[m] = $2; m++ }
 END {
-    printf "{\n  \"note\": \"ns_per_op measures simulator speed; pps measures protocol behaviour and must not move at a fixed seed; jobs entries are macawsim -total 40 -warmup 5 wall-clock ms (output verified byte-identical across jobs). Wall-clock speedup from -jobs requires nproc > 1: on a single-CPU host the workers serialize and only dispatch overhead shows.\",\n"
+    printf "{\n  \"note\": \"ns_per_op measures simulator speed; pps measures protocol behaviour and must not move at a fixed seed; jobs entries are macawsim -total 40 -warmup 5 wall-clock ms (output verified byte-identical across jobs; wall-clock speedup requires nproc > 1). scaling entries compare the neighborhood-indexed medium with the exhaustive all-radios iteration on seeded random building topologies: pps is identical by construction (the index is bit-exact), avg_neighbors is the mean relevance-set size the indexed per-event cost tracks, and the indexed/exhaustive ns_per_op ratio is the medium speedup.\",\n"
     printf "  \"nproc\": %d,\n", nproc
     printf "  \"benchmarks\": {\n"
     for (i = 0; i < n; i++) {
@@ -52,10 +73,18 @@ END {
         if (name in pps) printf ", \"pps\": %s", pps[name]
         printf "}%s\n", (i < n - 1 ? "," : "")
     }
+    printf "  },\n  \"scaling\": {\n"
+    for (i = 0; i < s; i++) {
+        name = sorder[i]
+        printf "    \"%s\": {\"ns_per_op\": %s", name, sns[name]
+        if (name in spps) printf ", \"pps\": %s", spps[name]
+        if (name in snbr) printf ", \"avg_neighbors\": %s", snbr[name]
+        printf "}%s\n", (i < s - 1 ? "," : "")
+    }
     printf "  },\n  \"jobs_wallclock_ms\": {\n"
     for (i = 0; i < m; i++)
         printf "    \"%s\": %s%s\n", jobs_n[i], jobs_ms[i], (i < m - 1 ? "," : "")
     printf "  }\n}\n"
-}' "$tmp/bench.txt" "$tmp/jobs.txt" > "$out"
+}' "$tmp/bench.txt" "$tmp/scale.txt" "$tmp/jobs.txt" > "$out"
 
 echo "wrote $out" >&2
