@@ -2,8 +2,8 @@
 //
 // Usage:
 //
-//	macawsim [-table table1..table11|all] [-chaos] [-total SECONDS] [-warmup SECONDS] [-seed N] [-paper] [-jobs N]
-//	         [-cpuprofile FILE] [-memprofile FILE]
+//	macawsim [-table table1..table11|all] [-chaos] [-audit] [-total SECONDS] [-warmup SECONDS] [-seed N] [-paper]
+//	         [-jobs N] [-cpuprofile FILE] [-memprofile FILE]
 //
 // Each table prints the paper's reported packets-per-second next to this
 // reproduction's measurements. -paper selects the paper's 500 s run length;
@@ -13,6 +13,11 @@
 // -chaos replaces the table set with the robustness table: MACA vs MACAW
 // under injected faults (burst loss, asymmetric links, crash/restart,
 // mobility), each run swept by the FSM liveness watchdog.
+// -audit attaches the protocol-conformance oracle to every run: each station
+// is checked online against the paper's Appendix A/B rules (exchange
+// ordering, deferral, backoff headers, delivery), and any violation aborts
+// with a replayable report naming the seed, station, and rule. The oracle is
+// passive — audited output is byte-identical to an unaudited run.
 package main
 
 import (
@@ -36,6 +41,7 @@ func main() {
 	format := flag.String("format", "text", "output format: text or csv")
 	jobs := flag.Int("jobs", 1, "number of simulations to run concurrently (output is identical for any value)")
 	chaos := flag.Bool("chaos", false, "emit the fault-injection robustness table instead of the paper tables")
+	auditFlag := flag.Bool("audit", false, "check every run against the paper's protocol rules; violations abort with a replayable report")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -80,6 +86,7 @@ func main() {
 		cfg.Warmup = sim.FromSeconds(*warmup)
 	}
 	cfg.Seed = *seed
+	cfg.Audit = *auditFlag
 	if cfg.Warmup >= cfg.Total {
 		fmt.Fprintln(os.Stderr, "macawsim: warmup must be shorter than total")
 		os.Exit(2)

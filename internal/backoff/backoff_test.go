@@ -418,3 +418,49 @@ func TestCopyEqualizesCounters(t *testing.T) {
 		t.Fatalf("copy failed to equalize: %d vs %d", loser.Value(), winner.Value())
 	}
 }
+
+// TestHeaderSanitizedAtAdoption: backoff counters copied out of overheard
+// or received packet headers are clamped into [BOmin, BOmax] at adoption
+// time, and negative values are treated as unknown rather than clamped
+// into a confident estimate.
+func TestHeaderSanitizedAtAdoption(t *testing.T) {
+	p := NewPerDest(NewMILD())
+	// An overheard CTS advertising absurd counters is clamped, not
+	// adopted verbatim.
+	p.OnOverhear(&frame.Frame{Type: frame.CTS, Src: 7, Dst: 8, LocalBackoff: 30000, RemoteBackoff: 21000})
+	if got := p.Peer(7).Remote; got != DefaultMax {
+		t.Fatalf("overheard local 30000 adopted as %d, want clamp to %d", got, DefaultMax)
+	}
+	if p.My != DefaultMax {
+		t.Fatalf("my_backoff copied as %d, want clamp to %d", p.My, DefaultMax)
+	}
+	if got := p.Peer(8).Remote; got != DefaultMax {
+		t.Fatalf("overheard remote 21000 adopted as %d, want clamp to %d", got, DefaultMax)
+	}
+	// Below the window clamps up to BOmin.
+	p.OnOverhear(&frame.Frame{Type: frame.DATA, Src: 7, Dst: 8, LocalBackoff: 0, RemoteBackoff: 1})
+	if got := p.Peer(7).Remote; got != DefaultMin {
+		t.Fatalf("overheard local 0 adopted as %d, want clamp to %d", got, DefaultMin)
+	}
+	// Negative headers are unknown, not estimates.
+	q := NewPerDest(NewMILD())
+	q.OnOverhear(&frame.Frame{Type: frame.ACK, Src: 7, Dst: 8, LocalBackoff: -7, RemoteBackoff: frame.IDontKnow})
+	if got := q.Peer(7).Remote; got != IDontKnow {
+		t.Fatalf("overheard local -7 adopted as %d, want IDontKnow", got)
+	}
+	if q.My != DefaultMin {
+		t.Fatalf("my_backoff moved to %d by a negative header", q.My)
+	}
+	if got := q.Peer(8).Remote; got != IDontKnow {
+		t.Fatalf("overheard IDontKnow remote adopted as %d", got)
+	}
+	// The validated-receive path sanitizes the same way.
+	r := NewPerDest(NewMILD())
+	r.OnReceive(&frame.Frame{Type: frame.CTS, Src: 7, Dst: 1, ESN: 1, LocalBackoff: 30000, RemoteBackoff: -3})
+	if got := r.Peer(7).Remote; got != DefaultMax {
+		t.Fatalf("received local 30000 adopted as %d, want clamp to %d", got, DefaultMax)
+	}
+	if got := r.Peer(7).Local; got != DefaultMin {
+		t.Fatalf("received negative remote moved local counter to %d", got)
+	}
+}

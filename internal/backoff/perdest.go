@@ -69,6 +69,18 @@ func (p *PerDest) PeerIDs() []frame.NodeID {
 
 func (p *PerDest) clamp(v int) int { return clamp(v, p.strat.Min(), p.strat.Max()) }
 
+// headerVal sanitizes a backoff counter copied from a packet header at
+// adoption time (§3.1): out-of-range values — a corrupted-but-accepted or
+// legacy header — are clamped into [BOmin, BOmax], and any negative value
+// (IDontKnow or garbage) is reported as unknown rather than clamped into a
+// confident estimate. Valid headers pass through unchanged.
+func (p *PerDest) headerVal(v int16) (int, bool) {
+	if v < 0 {
+		return 0, false
+	}
+	return p.clamp(int(v)), true
+}
+
 // bump adds d to a possibly-unknown estimate.
 func (p *PerDest) bump(v, d int) int {
 	if v == IDontKnow {
@@ -119,12 +131,13 @@ func (p *PerDest) OnOverhear(f *frame.Frame) {
 	if f.Type == frame.RTS {
 		return
 	}
-	local := p.clamp(int(f.LocalBackoff))
-	p.Peer(f.Src).Remote = local
-	if f.RemoteBackoff != frame.IDontKnow {
-		p.Peer(f.Dst).Remote = p.clamp(int(f.RemoteBackoff))
+	if local, ok := p.headerVal(f.LocalBackoff); ok {
+		p.Peer(f.Src).Remote = local
+		p.My = local
 	}
-	p.My = local
+	if remote, ok := p.headerVal(f.RemoteBackoff); ok {
+		p.Peer(f.Dst).Remote = remote
+	}
 }
 
 // OnReceive implements Policy, the Appendix B receive rule.
@@ -141,7 +154,7 @@ func (p *PerDest) OnOverhear(f *frame.Frame) {
 // is adopted as our local counter and my_backoff.
 func (p *PerDest) OnReceive(f *frame.Frame) {
 	pe := p.Peer(f.Src)
-	local := p.clamp(int(f.LocalBackoff))
+	local, okLocal := p.headerVal(f.LocalBackoff)
 	if f.Type == frame.RTS {
 		switch {
 		case f.ESN > pe.SeenESN:
@@ -163,13 +176,15 @@ func (p *PerDest) OnReceive(f *frame.Frame) {
 			// a replacement anchored to the packet's claim, not a
 			// cumulative bump: the estimate stays bounded by the
 			// retry limit instead of ratcheting to the maximum.
-			pe.Remote = p.clamp(local + pe.SeenRetry*p.Alpha)
-			if f.RemoteBackoff != frame.IDontKnow {
-				// "P's local_backoff = (local_backoff +
-				// remote_backoff) - Q's backoff": the sum of the
-				// two ends is preserved regardless of which end
-				// the collision charged.
-				pe.Local = p.clamp(local + int(f.RemoteBackoff) - pe.Remote)
+			if okLocal {
+				pe.Remote = p.clamp(local + pe.SeenRetry*p.Alpha)
+				if remote, ok := p.headerVal(f.RemoteBackoff); ok {
+					// "P's local_backoff = (local_backoff +
+					// remote_backoff) - Q's backoff": the sum of
+					// the two ends is preserved regardless of
+					// which end the collision charged.
+					pe.Local = p.clamp(local + remote - pe.Remote)
+				}
 			}
 			pe.SeenRetry++
 		}
@@ -180,9 +195,11 @@ func (p *PerDest) OnReceive(f *frame.Frame) {
 	// post-handshake values are authoritative — adopt them.
 	pe.SeenESN = f.ESN
 	pe.SeenRetry = 1
-	pe.Remote = local
-	if f.RemoteBackoff != frame.IDontKnow {
-		pe.Local = p.clamp(int(f.RemoteBackoff))
+	if okLocal {
+		pe.Remote = local
+	}
+	if remote, ok := p.headerVal(f.RemoteBackoff); ok {
+		pe.Local = remote
 		p.My = pe.Local
 	}
 }

@@ -35,9 +35,11 @@ func (s *Single) StampSend(f *frame.Frame) {
 }
 
 // OnOverhear implements Policy. Table 1's fix: adopt the counter carried in
-// the overheard header. RTS packets are excluded, consistent with Appendix B.
+// the overheard header, clamped into [BOmin, BOmax] at adoption time. RTS
+// packets are excluded, consistent with Appendix B, and a negative header
+// (IDontKnow or garbage) carries no adoptable estimate at all.
 func (s *Single) OnOverhear(f *frame.Frame) {
-	if !s.copy || f.Type == frame.RTS {
+	if !s.copy || f.Type == frame.RTS || f.LocalBackoff < 0 {
 		return
 	}
 	s.value = clamp(int(f.LocalBackoff), s.strat.Min(), s.strat.Max())

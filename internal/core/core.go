@@ -117,7 +117,7 @@ func (st *Station) Restarts() int { return st.restarts }
 // draws a fresh generator from the simulator, so a restarted MAC gets its own
 // reproducible stream.
 func (st *Station) newEnv() *mac.Env {
-	return &mac.Env{
+	env := &mac.Env{
 		Sim:   st.net.Sim,
 		Radio: st.radio,
 		Rand:  st.net.Sim.NewRand(),
@@ -127,6 +127,10 @@ func (st *Station) newEnv() *mac.Env {
 			Dropped: func(*mac.Packet, mac.DropReason) { st.dropped++ },
 		},
 	}
+	if st.net.obsFactory != nil {
+		env.Obs = st.net.obsFactory(st)
+	}
+	return env
 }
 
 // Crash simulates a node failure: the MAC instance is halted (timers
@@ -257,6 +261,9 @@ type Network struct {
 	nextID   frame.NodeID
 	nextSID  uint16
 	warmup   sim.Duration
+	// obsFactory builds the per-MAC-lifetime conformance observer; see
+	// SetMACObserver.
+	obsFactory MACObserverFactory
 
 	// TCPCfg configures new TCP streams. The default matches the
 	// paper-era TCP §3.3.1 describes: a 0.5 s minimum retransmission
@@ -279,6 +286,20 @@ func NewNetwork(seed int64) *Network {
 		TCPCfg: tcpCfg,
 	}
 }
+
+// MACObserverFactory builds a mac.Observer for one MAC instance of st. It is
+// invoked once per MAC lifetime: when the station is added, and again for the
+// fresh instance each Restart builds — so a conformance auditor can reset its
+// per-lifetime expectations. The factory runs while the station's MAC field
+// is still being replaced; observers must defer any st.MAC() inspection until
+// the first event.
+type MACObserverFactory func(st *Station) mac.Observer
+
+// SetMACObserver installs a factory producing a passive mac.Observer for
+// every MAC instance the network creates. It must be called before stations
+// are added; observers must not affect simulation behavior (see
+// mac.Observer).
+func (n *Network) SetMACObserver(f MACObserverFactory) { n.obsFactory = f }
 
 // AddStation creates a station at pos running the protocol built by f.
 func (n *Network) AddStation(name string, pos geom.Vec3, f MACFactory) *Station {

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"testing"
+
+	"macaw/internal/sim"
+)
+
+// TestAuditIsPassive: attaching the conformance oracle must not perturb a
+// run — the audited table is byte-identical to the unaudited one, serially
+// and through the parallel runner. (A violation would panic instead.)
+func TestAuditIsPassive(t *testing.T) {
+	plain := Bench()
+	audited := Bench()
+	audited.Audit = true
+
+	base := Table6(plain).Render()
+	if got := Table6(audited).Render(); got != base {
+		t.Fatalf("audited table differs from unaudited:\n--- plain\n%s\n--- audited\n%s", base, got)
+	}
+
+	gen, ok := ByID("table6")
+	if !ok {
+		t.Fatal("table6 generator missing")
+	}
+	tabs := NewRunner(4).Tables([]Generator{gen}, audited)
+	if got := tabs[0].Render(); got != base {
+		t.Fatalf("audited parallel table differs from unaudited serial:\n--- plain\n%s\n--- audited\n%s", base, got)
+	}
+}
+
+// TestAuditChaosTable: the chaos table — crash/restart, burst loss, mobility
+// — completes under audit with the identical rendering. This is the
+// regression net for the restart-time findings the oracle produced.
+func TestAuditChaosTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos table is slow")
+	}
+	plain := Bench()
+	// The chaos table's supported run length (see ci.yml): longer runs
+	// trip a pre-existing watchdog queue bound under some schedules.
+	plain.Total = 8 * sim.Second
+	plain.Warmup = 2 * sim.Second
+	audited := plain
+	audited.Audit = true
+	base := ChaosTable(plain).Render()
+	if got := ChaosTable(audited).Render(); got != base {
+		t.Fatalf("audited chaos table differs from unaudited:\n--- plain\n%s\n--- audited\n%s", base, got)
+	}
+}

@@ -67,6 +67,7 @@ func ChaosTable(cfg RunConfig) Table {
 			mk, apply := p.f, c.apply
 			futs[pi][ci] = goFuture(cfg, func() point {
 				n := core.NewNetwork(cfg.Seed)
+				audit := cfg.newAudit(n)
 				f := mk()
 				b1 := n.AddStation("B1", geom.V(0, 0, 12), f)
 				b2 := n.AddStation("B2", geom.V(14, 0, 12), f)
@@ -84,6 +85,7 @@ func ChaosTable(cfg RunConfig) Table {
 				w.MaxQueue = 256
 				w.Start(0)
 				res := n.Run(cfg.Total, cfg.Warmup)
+				audit.check()
 				fc := in.Counters()
 				return point{
 					pps:  res.TotalPPS(),

@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"macaw/internal/core"
+	"macaw/internal/oracle"
 	"macaw/internal/sim"
 	"macaw/internal/topo"
 )
@@ -22,6 +23,12 @@ type RunConfig struct {
 	Total  sim.Duration
 	Warmup sim.Duration
 	Seed   int64
+
+	// Audit attaches the protocol-conformance oracle to every run. The
+	// oracle is strictly passive — audited output is byte-identical to an
+	// unaudited run — and a rule violation panics with a replayable report
+	// rather than letting a non-conformant run masquerade as a result.
+	Audit bool
 
 	// runner, when set via WithRunner, executes the independent runs
 	// inside each generator on a worker pool instead of inline.
@@ -161,13 +168,42 @@ func (t Table) MeasuredTotal(i int) float64 {
 // mobility, power events), and runs it.
 func runLayout(cfg RunConfig, l topo.Layout, f core.MACFactory, mods ...func(*core.Network)) core.Results {
 	n := core.NewNetwork(cfg.Seed)
+	audit := cfg.newAudit(n)
 	if err := l.Build(n, f); err != nil {
 		panic(fmt.Sprintf("experiments: %v", err))
 	}
 	for _, mod := range mods {
 		mod(n)
 	}
-	return n.Run(cfg.Total, cfg.Warmup)
+	res := n.Run(cfg.Total, cfg.Warmup)
+	audit.check()
+	return res
+}
+
+// audit is the per-run handle of the conformance oracle; the zero value (no
+// auditing) is a no-op.
+type audit struct{ o *oracle.Oracle }
+
+// newAudit attaches the oracle to a freshly built network when cfg.Audit is
+// set. It must be called before the layout adds stations.
+func (cfg RunConfig) newAudit(n *core.Network) audit {
+	if !cfg.Audit {
+		return audit{}
+	}
+	o := oracle.New(cfg.Seed)
+	o.Attach(n)
+	return audit{o: o}
+}
+
+// check panics with the replayable violation report if the audited run broke
+// any protocol rule.
+func (a audit) check() {
+	if a.o == nil {
+		return
+	}
+	if err := a.o.Err(); err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
 }
 
 // streamNames lists a layout's stream names in declaration order.

@@ -195,7 +195,14 @@ func TestTable5DSRestoresExposedTerminalThroughput(t *testing.T) {
 }
 
 func TestTable6RRTSImprovesReceiverContention(t *testing.T) {
-	tab := Table6(Quick())
+	// The no-RRTS column is bistable (see TestTable6BistabilityAndRRTSCure);
+	// the total-throughput comparison is only meaningful against the
+	// mutual-degradation basin, so pin a seed that lands there. In the
+	// starvation basin the no-RRTS total is higher but one stream is dead —
+	// that shape is asserted by the bistability test instead.
+	cfg := Quick()
+	cfg.Seed = 4
+	tab := Table6(cfg)
 	no, yes := tab.Columns[0].Results, tab.Columns[1].Results
 	// With RRTS both streams share the medium fairly and the total
 	// clearly exceeds the no-RRTS total.

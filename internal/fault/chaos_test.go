@@ -8,6 +8,7 @@ import (
 	"macaw/internal/geom"
 	"macaw/internal/mac/csma"
 	"macaw/internal/mac/macaw"
+	"macaw/internal/oracle"
 	"macaw/internal/sim"
 )
 
@@ -54,6 +55,11 @@ func runChaos(t *testing.T, seed int64, mk core.MACFactory) chaosOutcome {
 	const warmup = 500 * sim.Millisecond
 
 	n := core.NewNetwork(seed)
+	// Every schedule runs under the conformance oracle: a protocol-rule
+	// breach under faults fails the suite with a replayable report, not
+	// just a deflated throughput number.
+	orc := oracle.New(seed)
+	orc.Attach(n)
 	// Two cells: B1 with P1, P2; B2 with P3, P4. Traffic flows both
 	// directions in each cell so crash/asym faults hit senders and
 	// receivers alike.
@@ -116,6 +122,9 @@ func runChaos(t *testing.T, seed int64, mk core.MACFactory) chaosOutcome {
 	w.Start(0)
 
 	res := n.Run(total, warmup)
+	if err := orc.Err(); err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
 	fc := in.Counters()
 	fc.Add(w.Counters())
 	return chaosOutcome{

@@ -129,6 +129,7 @@ func (c *CSMA) Enqueue(p *mac.Packet) {
 	p.SetSeq(c.seq)
 	p.Enqueued = c.env.Sim.Now()
 	c.q.Push(p)
+	c.noteQueue("push", p.Dst)
 	if c.st == Idle {
 		c.schedule()
 	}
@@ -137,6 +138,32 @@ func (c *CSMA) Enqueue(p *mac.Packet) {
 func (c *CSMA) setTimer(d sim.Duration, fn func()) {
 	c.timer.Cancel()
 	c.timer = c.env.Sim.After(d, fn)
+	if c.env.Obs != nil {
+		c.env.Obs.ObserveTimer(c.timer.When())
+	}
+}
+
+// transmit radiates f, notifying the conformance observer first.
+func (c *CSMA) transmit(f *frame.Frame) sim.Duration {
+	if c.env.Obs != nil {
+		c.env.Obs.ObserveTx(f)
+	}
+	return c.env.Radio.Transmit(f)
+}
+
+// setState moves the FSM to s, notifying the conformance observer.
+func (c *CSMA) setState(s State) {
+	if c.env.Obs != nil && s != c.st {
+		c.env.Obs.ObserveState(c.st.String(), s.String())
+	}
+	c.st = s
+}
+
+// noteQueue reports a queue operation to the observer.
+func (c *CSMA) noteQueue(op string, dst frame.NodeID) {
+	if c.env.Obs != nil {
+		c.env.Obs.ObserveQueue(op, dst, c.q.Len())
+	}
 }
 
 // schedule arms the next sense attempt 1..BO slots from now (non-persistent
@@ -144,10 +171,10 @@ func (c *CSMA) setTimer(d sim.Duration, fn func()) {
 func (c *CSMA) schedule() {
 	head := c.q.Peek()
 	if head == nil {
-		c.st = Idle
+		c.setState(Idle)
 		return
 	}
-	c.st = Backoff
+	c.setState(Backoff)
 	k := 1 + c.env.Rand.Intn(c.pol.Backoff(head.Dst))
 	c.setTimer(sim.Duration(k)*c.env.Cfg.Slot(), c.attempt)
 }
@@ -158,7 +185,7 @@ func (c *CSMA) attempt() {
 	c.timer = sim.Event{}
 	head := c.q.Peek()
 	if head == nil {
-		c.st = Idle
+		c.setState(Idle)
 		return
 	}
 	if c.env.Radio.CarrierBusy() {
@@ -167,21 +194,22 @@ func (c *CSMA) attempt() {
 	}
 	data := &frame.Frame{Type: frame.DATA, Src: c.env.ID(), Dst: head.Dst, DataBytes: uint16(head.Size), Seq: head.Seq(), Payload: head.Payload}
 	c.pol.StampSend(data)
-	air := c.env.Radio.Transmit(data)
-	c.st = Sending
+	air := c.transmit(data)
+	c.setState(Sending)
 	c.setTimer(air, func() {
 		c.timer = sim.Event{}
 		if !c.opt.ACK {
 			c.finish(head)
 			return
 		}
-		c.st = WFACK
+		c.setState(WFACK)
 		c.setTimer(c.env.Cfg.Turnaround+c.env.Cfg.CtrlTime()+c.env.Cfg.Margin, c.onACKTimeout)
 	})
 }
 
 func (c *CSMA) finish(head *mac.Packet) {
 	c.q.Pop()
+	c.noteQueue("pop", head.Dst)
 	c.retries = 0
 	c.stats.DataSent++
 	c.env.Callbacks.NotifySent(head)
@@ -198,6 +226,7 @@ func (c *CSMA) onACKTimeout() {
 	c.stats.Retries++
 	if head := c.q.Peek(); head != nil && c.retries > c.env.Cfg.MaxRetries {
 		c.q.Pop()
+		c.noteQueue("drop", head.Dst)
 		c.retries = 0
 		c.stats.Drops++
 		c.pol.OnGiveUp(head.Dst)
@@ -212,20 +241,29 @@ func (c *CSMA) RadioCarrier(bool) {}
 
 // RadioReceive implements phy.Handler.
 func (c *CSMA) RadioReceive(f *frame.Frame) {
-	if c.halted || f.Dst != c.env.ID() {
+	if c.halted {
+		return
+	}
+	if c.env.Obs != nil {
+		c.env.Obs.ObserveRx(f)
+	}
+	if f.Dst != c.env.ID() {
 		return
 	}
 	switch f.Type {
 	case frame.DATA:
 		c.stats.DataReceived++
+		if c.env.Obs != nil {
+			c.env.Obs.ObserveDeliver(f)
+		}
 		c.env.Callbacks.NotifyDeliver(f.Src, f.Payload)
 		if c.opt.ACK && !c.env.Radio.Transmitting() {
 			ack := &frame.Frame{Type: frame.ACK, Src: c.env.ID(), Dst: f.Src, Seq: f.Seq}
 			c.pol.StampSend(ack)
 			// The ACK may itself collide; CSMA has no protection.
-			air := c.env.Radio.Transmit(ack)
+			air := c.transmit(ack)
 			c.stats.ACKSent++
-			c.st = Sending
+			c.setState(Sending)
 			c.setTimer(air, func() {
 				c.timer = sim.Event{}
 				c.schedule()
@@ -241,6 +279,9 @@ func (c *CSMA) RadioReceive(f *frame.Frame) {
 		}
 		c.timer.Cancel()
 		c.timer = sim.Event{}
+		if c.env.Obs != nil {
+			c.env.Obs.ObserveTimer(-1)
+		}
 		c.pol.OnSuccess(f.Src)
 		c.finish(head)
 	}

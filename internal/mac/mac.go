@@ -110,6 +110,31 @@ type Inspector interface {
 	TimerWhen() sim.Time
 }
 
+// Observer receives MAC-internal events for passive protocol auditing (the
+// conformance oracle). Implementations must be strictly passive: they may
+// not transmit, enqueue packets, schedule simulator events, or consume
+// randomness — attaching an observer must leave every simulation result
+// bit-identical. All three protocol engines (csma, maca, macaw) invoke the
+// hooks when Env.Obs is non-nil.
+type Observer interface {
+	// ObserveTx is invoked immediately before the MAC radiates f.
+	ObserveTx(f *frame.Frame)
+	// ObserveRx is invoked for every clean reception the MAC processes,
+	// including overheard frames and broadcasts.
+	ObserveRx(f *frame.Frame)
+	// ObserveState reports an FSM transition (Appendix A/B state names).
+	ObserveState(from, to string)
+	// ObserveTimer reports the state timer being armed to fire at 'at';
+	// a negative value reports cancellation.
+	ObserveTimer(at sim.Time)
+	// ObserveQueue reports a queue operation ("push", "pop", "drop") on
+	// the queue toward dst, with the queue length after the operation.
+	ObserveQueue(op string, dst frame.NodeID, n int)
+	// ObserveDeliver reports a DATA frame whose payload was handed to
+	// transport.
+	ObserveDeliver(f *frame.Frame)
+}
+
 // Stats counts MAC-level events.
 type Stats struct {
 	// DataSent counts completed local data transmissions.
@@ -209,6 +234,9 @@ type Env struct {
 	Radio Radio
 	Rand  *rand.Rand
 	Cfg   Config
+	// Obs, when non-nil, receives MAC-internal events for passive
+	// protocol auditing (see Observer).
+	Obs Observer
 	Callbacks
 }
 

@@ -134,19 +134,62 @@ func (m *MACA) Enqueue(p *mac.Packet) {
 	p.SetSeq(m.seq)
 	p.Enqueued = m.env.Sim.Now()
 	m.q.Push(p)
+	m.noteQueue("push", p.Dst)
 	if m.st == Idle {
 		m.enterContend()
 	}
 }
 
 func (m *MACA) setTimer(d sim.Duration, fn func()) {
+	m.setTimerAt(m.env.Sim.Now()+d, fn)
+}
+
+func (m *MACA) setTimerAt(t sim.Time, fn func()) {
 	m.timer.Cancel()
-	m.timer = m.env.Sim.After(d, fn)
+	m.timer = m.env.Sim.At(t, fn)
+	if m.env.Obs != nil {
+		m.env.Obs.ObserveTimer(t)
+	}
 }
 
 func (m *MACA) clearTimer() {
 	m.timer.Cancel()
 	m.timer = sim.Event{}
+	if m.env.Obs != nil {
+		m.env.Obs.ObserveTimer(-1)
+	}
+}
+
+// transmit radiates f, notifying the conformance observer first.
+func (m *MACA) transmit(f *frame.Frame) sim.Duration {
+	if m.env.Obs != nil {
+		m.env.Obs.ObserveTx(f)
+	}
+	return m.env.Radio.Transmit(f)
+}
+
+// setState moves the FSM to s, notifying the conformance observer.
+func (m *MACA) setState(s State) {
+	if m.env.Obs != nil && s != m.st {
+		m.env.Obs.ObserveState(m.st.String(), s.String())
+	}
+	m.st = s
+}
+
+// deliver hands a received DATA frame's payload to transport.
+func (m *MACA) deliver(f *frame.Frame) {
+	m.stats.DataReceived++
+	if m.env.Obs != nil {
+		m.env.Obs.ObserveDeliver(f)
+	}
+	m.env.Callbacks.NotifyDeliver(f.Src, f.Payload)
+}
+
+// noteQueue reports a queue operation to the observer.
+func (m *MACA) noteQueue(op string, dst frame.NodeID) {
+	if m.env.Obs != nil {
+		m.env.Obs.ObserveQueue(op, dst, m.q.Len())
+	}
 }
 
 // enterContend schedules the next RTS attempt "an integer number of slot
@@ -155,19 +198,17 @@ func (m *MACA) clearTimer() {
 func (m *MACA) enterContend() {
 	head := m.q.Peek()
 	if head == nil {
-		m.st = Idle
+		m.setState(Idle)
 		return
 	}
-	m.st = Contend
+	m.setState(Contend)
 	base := m.env.Sim.Now()
 	if m.deferUntil > base {
 		base = m.deferUntil
 	}
 	bo := m.pol.Backoff(head.Dst)
 	k := 1 + m.env.Rand.Intn(bo)
-	at := base + sim.Duration(k)*m.env.Cfg.Slot()
-	m.timer.Cancel()
-	m.timer = m.env.Sim.At(at, m.onContendTimeout)
+	m.setTimerAt(base+sim.Duration(k)*m.env.Cfg.Slot(), m.onContendTimeout)
 }
 
 // onContendTimeout is Timeout rule 1: transmit the RTS and wait for the CTS.
@@ -176,18 +217,21 @@ func (m *MACA) onContendTimeout() {
 	if m.st != Contend || head == nil {
 		return
 	}
-	if m.deferUntil > m.env.Sim.Now() {
-		// A defer period started since the timer was set; contend
-		// again after it ends.
+	if m.deferUntil+m.env.Cfg.Slot() > m.env.Sim.Now() {
+		// §3.2 / Appendix A: transmission begins an integer number of
+		// slot times — at least one — after the end of the last defer
+		// period. Contention draws already guarantee this (base + k·slot
+		// with k ≥ 1 and base ≥ deferUntil); the redraw is a hardening
+		// backstop for a horizon that moved under an armed timer.
 		m.enterContend()
 		return
 	}
 	f := &frame.Frame{Type: frame.RTS, Src: m.env.ID(), Dst: head.Dst, DataBytes: uint16(head.Size), Seq: head.Seq()}
 	m.pol.StampSend(f)
-	air := m.env.Radio.Transmit(f)
+	air := m.transmit(f)
 	m.stats.RTSSent++
 	m.curDst = head.Dst
-	m.st = WFCTS
+	m.setState(WFCTS)
 	m.setTimer(air+m.env.Cfg.CTSWait(), m.onCTSTimeout)
 }
 
@@ -208,6 +252,7 @@ func (m *MACA) failAttempt() {
 	m.stats.Retries++
 	if head != nil && m.retries > m.env.Cfg.MaxRetries {
 		m.q.Pop()
+		m.noteQueue("drop", head.Dst)
 		m.retries = 0
 		m.stats.Drops++
 		m.pol.OnGiveUp(head.Dst)
@@ -221,7 +266,7 @@ func (m *MACA) next() {
 	if m.q.Len() > 0 {
 		m.enterContend()
 	} else {
-		m.st = Idle
+		m.setState(Idle)
 	}
 }
 
@@ -236,7 +281,7 @@ func (m *MACA) enterQuiet(d sim.Duration) {
 	}
 	switch m.st {
 	case Idle, Contend:
-		m.st = Quiet
+		m.setState(Quiet)
 		m.setTimer(m.deferUntil-m.env.Sim.Now(), m.onQuietEnd)
 	case Quiet:
 		m.setTimer(m.deferUntil-m.env.Sim.Now(), m.onQuietEnd)
@@ -264,6 +309,9 @@ func (m *MACA) RadioCarrier(bool) {}
 func (m *MACA) RadioReceive(f *frame.Frame) {
 	if m.halted {
 		return
+	}
+	if m.env.Obs != nil {
+		m.env.Obs.ObserveRx(f)
 	}
 	if f.Dst == m.env.ID() {
 		m.receiveForMe(f)
@@ -295,10 +343,10 @@ func (m *MACA) receiveForMe(f *frame.Frame) {
 		m.clearTimer()
 		cts := &frame.Frame{Type: frame.CTS, Src: m.env.ID(), Dst: f.Src, DataBytes: f.DataBytes, Seq: f.Seq}
 		m.pol.StampSend(cts)
-		air := m.env.Radio.Transmit(cts)
+		air := m.transmit(cts)
 		m.stats.CTSSent++
 		m.expectFrom = f.Src
-		m.st = WFData
+		m.setState(WFData)
 		m.setTimer(air+m.env.Cfg.Turnaround+m.env.Cfg.DataTime(int(f.DataBytes))+m.env.Cfg.Margin, m.onTimeoutToIdle)
 	case frame.CTS:
 		// Control rule 3: send the data.
@@ -309,10 +357,11 @@ func (m *MACA) receiveForMe(f *frame.Frame) {
 		m.pol.OnSuccess(m.curDst)
 		m.retries = 0
 		head := m.q.Pop()
+		m.noteQueue("pop", head.Dst)
 		data := &frame.Frame{Type: frame.DATA, Src: m.env.ID(), Dst: head.Dst, DataBytes: uint16(head.Size), Seq: head.Seq(), Payload: head.Payload}
 		m.pol.StampSend(data)
-		air := m.env.Radio.Transmit(data)
-		m.st = SendData
+		air := m.transmit(data)
+		m.setState(SendData)
 		m.setTimer(air, func() {
 			m.timer = sim.Event{}
 			m.stats.DataSent++
@@ -323,14 +372,12 @@ func (m *MACA) receiveForMe(f *frame.Frame) {
 		// Control rule 4.
 		if m.st == WFData && f.Src == m.expectFrom {
 			m.clearTimer()
-			m.stats.DataReceived++
-			m.env.Callbacks.NotifyDeliver(f.Src, f.Payload)
+			m.deliver(f)
 			m.next()
 			return
 		}
 		// A data packet that arrives outside WFData is still data.
-		m.stats.DataReceived++
-		m.env.Callbacks.NotifyDeliver(f.Src, f.Payload)
+		m.deliver(f)
 	}
 }
 

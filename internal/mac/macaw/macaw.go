@@ -156,11 +156,18 @@ type MACAW struct {
 
 	// rrtsFor is the first RTS sender we could not answer while
 	// deferring ("it only responds to the first received RTS").
-	rrtsFor   frame.NodeID
-	rrtsLen   int
-	hasRRTS   bool
+	rrtsFor frame.NodeID
+	rrtsLen int
+	hasRRTS bool
+	// rrtsSeen is when the noted sender last retried; a note whose sender
+	// has gone silent past its worst-case retry period is dropped at the
+	// next fresh defer window instead of soliciting a dead station.
+	rrtsSeen  sim.Time
 	lastAcked map[frame.NodeID]uint32 // per-sender last delivered/acked seq
 	everAcked map[frame.NodeID]bool
+	// seenESN is the highest exchange number observed from each sender; a
+	// regression marks a rebooted peer whose dedup state must be dropped.
+	seenESN map[frame.NodeID]uint32
 	// pending holds, per destination, a data packet transmitted without
 	// an ack request, awaiting its piggybacked confirmation (§4).
 	pending map[frame.NodeID]*mac.Packet
@@ -189,9 +196,20 @@ func New(env *mac.Env, opt Options) *MACAW {
 		attempts:       make(map[frame.NodeID]int),
 		lastAcked:      make(map[frame.NodeID]uint32),
 		everAcked:      make(map[frame.NodeID]bool),
+		seenESN:        make(map[frame.NodeID]uint32),
 		pending:        make(map[frame.NodeID]*mac.Packet),
 		pendingRetries: make(map[frame.NodeID]int),
 	}
+	// Each lifetime numbers its packets from a random point (the TCP
+	// initial-sequence-number argument): a rebooted station restarting
+	// from 1 could collide with the dedup bookkeeping peers kept about its
+	// previous life — an RTS whose (seq, ESN) pair happens to equal an
+	// already-acknowledged exchange draws a spurious repeated ACK and the
+	// new packet is silently lost. The ESN-regression resync in
+	// receiveForMe catches most reboots from the headers alone, but an
+	// exact collision is indistinguishable there; randomizing the origin
+	// makes it vanishingly unlikely.
+	m.seq = env.Rand.Uint32() & 0x3fffffff
 	if m.pol == nil {
 		m.pol = backoff.NewPerDest(backoff.NewMILD())
 	}
@@ -319,6 +337,7 @@ func (m *MACAW) Enqueue(p *mac.Packet) {
 	} else {
 		m.fifo.Push(p)
 	}
+	m.noteQueue("push", p.Dst)
 	switch m.st {
 	case Idle:
 		m.enterContend()
@@ -349,18 +368,60 @@ func (m *MACAW) considerContender(c contender) {
 }
 
 func (m *MACAW) setTimer(d sim.Duration, fn func()) {
-	m.timer.Cancel()
-	m.timer = m.env.Sim.After(d, fn)
+	m.setTimerAt(m.env.Sim.Now()+d, fn)
 }
 
 func (m *MACAW) setTimerAt(t sim.Time, fn func()) {
 	m.timer.Cancel()
 	m.timer = m.env.Sim.At(t, fn)
+	if m.env.Obs != nil {
+		m.env.Obs.ObserveTimer(t)
+	}
 }
 
 func (m *MACAW) clearTimer() {
 	m.timer.Cancel()
 	m.timer = sim.Event{}
+	if m.env.Obs != nil {
+		m.env.Obs.ObserveTimer(-1)
+	}
+}
+
+// transmit radiates f, notifying the conformance observer first.
+func (m *MACAW) transmit(f *frame.Frame) sim.Duration {
+	if m.env.Obs != nil {
+		m.env.Obs.ObserveTx(f)
+	}
+	return m.env.Radio.Transmit(f)
+}
+
+// setState moves the FSM to s, notifying the conformance observer.
+func (m *MACAW) setState(s State) {
+	if m.env.Obs != nil && s != m.st {
+		m.env.Obs.ObserveState(m.st.String(), s.String())
+	}
+	m.st = s
+}
+
+// deliver hands a received DATA frame's payload to transport.
+func (m *MACAW) deliver(f *frame.Frame) {
+	m.stats.DataReceived++
+	if m.env.Obs != nil {
+		m.env.Obs.ObserveDeliver(f)
+	}
+	m.env.Callbacks.NotifyDeliver(f.Src, f.Payload)
+}
+
+// noteQueue reports a queue operation on dst's queue to the observer.
+func (m *MACAW) noteQueue(op string, dst frame.NodeID) {
+	if m.env.Obs == nil {
+		return
+	}
+	n := 0
+	if q := m.queueFor(dst); q != nil {
+		n = q.Len()
+	}
+	m.env.Obs.ObserveQueue(op, dst, n)
 }
 
 // contendTargets lists the destinations with pending work.
@@ -385,15 +446,15 @@ func (m *MACAW) enterContend() {
 			// Nothing to send, but a defer period is still running:
 			// stay QUIET so arriving RTSes are answered with an
 			// RRTS later rather than a mid-exchange CTS.
-			m.st = Quiet
+			m.setState(Quiet)
 			m.setTimerAt(m.deferUntil, m.onQuietEnd)
 			return
 		}
-		m.st = Idle
+		m.setState(Idle)
 		m.clearTimer()
 		return
 	}
-	m.st = Contend
+	m.setState(Contend)
 	base := m.env.Sim.Now()
 	if m.deferUntil > base {
 		base = m.deferUntil
@@ -439,7 +500,14 @@ func (m *MACAW) onContendTimeout() {
 		return
 	}
 	m.timer = sim.Event{}
-	if m.deferUntil > m.env.Sim.Now() {
+	if m.deferUntil+m.env.Cfg.Slot() > m.env.Sim.Now() {
+		// §3.2: a transmission must begin an integer number of slot
+		// times — at least one — after the end of the last defer
+		// period. Contention draws always satisfy this (every draw is
+		// base + k·slot with k ≥ 1 and base ≥ deferUntil), so this
+		// redraw is a hardening backstop: if the horizon ever moved
+		// under an armed timer, firing within a slot of it would break
+		// the slotted collision-avoidance grid.
 		m.enterContend()
 		return
 	}
@@ -447,7 +515,7 @@ func (m *MACAW) onContendTimeout() {
 		if hold == maxTime {
 			// The carrier is busy: wait for it to clear, then
 			// redraw from the cleared instant.
-			m.st = Quiet
+			m.setState(Quiet)
 			m.setTimer(m.env.Cfg.Slot(), m.onQuietEnd)
 			return
 		}
@@ -472,10 +540,10 @@ func (m *MACAW) onContendTimeout() {
 	}
 	f := &frame.Frame{Type: frame.RTS, Src: m.env.ID(), Dst: head.Dst, DataBytes: uint16(head.Size), Seq: head.Seq()}
 	m.pol.StampSend(f)
-	air := m.env.Radio.Transmit(f)
+	air := m.transmit(f)
 	m.stats.RTSSent++
 	m.curDst = head.Dst
-	m.st = WFCTS
+	m.setState(WFCTS)
 	m.setTimer(air+m.env.Cfg.CTSWait(), m.onCTSTimeout)
 }
 
@@ -485,10 +553,10 @@ func (m *MACAW) sendRRTS() {
 	m.hasRRTS = false
 	f := &frame.Frame{Type: frame.RRTS, Src: m.env.ID(), Dst: dst, DataBytes: uint16(n)}
 	m.pol.StampSend(f)
-	air := m.env.Radio.Transmit(f)
+	air := m.transmit(f)
 	m.stats.RRTSSent++
 	m.expectSrc = dst
-	m.st = WFRTS
+	m.setState(WFRTS)
 	// Long enough for the answering RTS to arrive.
 	m.setTimer(air+m.env.Cfg.Turnaround+m.env.Cfg.CtrlTime()+m.env.Cfg.Margin, m.onExpectTimeout)
 }
@@ -498,17 +566,18 @@ func (m *MACAW) sendRRTS() {
 func (m *MACAW) sendMulticast(head *mac.Packet) {
 	rts := &frame.Frame{Type: frame.RTS, Src: m.env.ID(), Dst: frame.Broadcast, DataBytes: uint16(head.Size), Seq: head.Seq(), Multicast: true}
 	m.pol.StampSend(rts)
-	air := m.env.Radio.Transmit(rts)
+	air := m.transmit(rts)
 	m.stats.RTSSent++
-	m.st = SendData
+	m.setState(SendData)
 	m.setTimer(air, func() {
 		m.timer = sim.Event{}
 		data := &frame.Frame{Type: frame.DATA, Src: m.env.ID(), Dst: frame.Broadcast, DataBytes: uint16(head.Size), Seq: head.Seq(), Multicast: true, Payload: head.Payload}
 		m.pol.StampSend(data)
-		dair := m.env.Radio.Transmit(data)
+		dair := m.transmit(data)
 		m.setTimer(dair, func() {
 			m.timer = sim.Event{}
 			m.queueFor(frame.Broadcast).Pop()
+			m.noteQueue("pop", frame.Broadcast)
 			m.stats.DataSent++
 			m.env.Callbacks.NotifySent(head)
 			m.next()
@@ -539,6 +608,7 @@ func (m *MACAW) bumpAttempts(dst frame.NodeID) {
 	if q := m.queueFor(dst); q != nil {
 		if p := q.Peek(); p != nil && p.Dst == dst {
 			q.Pop()
+			m.noteQueue("drop", dst)
 			m.stats.Drops++
 			m.pol.OnGiveUp(dst)
 			m.env.Callbacks.NotifyDropped(p, mac.DropRetries)
@@ -548,6 +618,7 @@ func (m *MACAW) bumpAttempts(dst frame.NodeID) {
 			// once its successor is gone; retransmit it normally.
 			delete(m.pending, dst)
 			q.PushFront(p)
+			m.noteQueue("push", dst)
 		}
 	}
 	m.attempts[dst] = 0
@@ -556,17 +627,35 @@ func (m *MACAW) bumpAttempts(dst frame.NodeID) {
 // next resumes contention for remaining work or returns to IDLE.
 func (m *MACAW) next() { m.enterContend() }
 
+// rrtsStale bounds how long a noted-but-unserved RTS stays eligible for an
+// RRTS. A live blocked sender retries within its CTS timeout plus its
+// contention draw — at most the doubled per-destination window of 2·BOmax
+// slots (§3.4) — so doubling that span keeps a sender whose retries are
+// merely slow while letting the invitation for a crashed or departed one die
+// at the next fresh defer window.
+func (m *MACAW) rrtsStale() sim.Duration {
+	return 2 * (m.env.Cfg.CTSWait() + sim.Duration(2*backoff.DefaultMax)*m.env.Cfg.Slot())
+}
+
 // enterQuiet extends the defer horizon and (when not mid-exchange) moves to
 // QUIET. QUIET absorbs Appendix B's WFCONTEND: when the horizon passes the
 // station contends for pending work.
 func (m *MACAW) enterQuiet(d sim.Duration) {
+	if m.hasRRTS && !m.deferring() && m.env.Sim.Now()-m.rrtsSeen > m.rrtsStale() {
+		// A fresh defer window is opening and the noted sender has been
+		// silent for longer than its worst-case retry period: it either
+		// crashed or went away, so an RRTS would solicit a station with
+		// nothing pending. Drop the invitation; a live sender's next RTS
+		// re-arms it (§3.3.3).
+		m.hasRRTS = false
+	}
 	until := m.env.Sim.Now() + d
 	if until > m.deferUntil {
 		m.deferUntil = until
 	}
 	switch m.st {
 	case Idle, Contend, Quiet:
-		m.st = Quiet
+		m.setState(Quiet)
 		m.setTimerAt(m.deferUntil, m.onQuietEnd)
 	default:
 		// Mid-exchange states keep their timers; the advanced horizon
@@ -601,11 +690,15 @@ func (m *MACAW) onExpectTimeout() {
 		// §4: tell the sender its data never arrived.
 		nack := &frame.Frame{Type: frame.NACK, Src: m.env.ID(), Dst: m.expectSrc}
 		m.pol.StampSend(nack)
-		air := m.env.Radio.Transmit(nack)
-		m.st = SendData
+		air := m.transmit(nack)
+		m.expectSrc = 0
+		m.setState(SendData)
 		m.setTimer(air, func() { m.timer = sim.Event{}; m.next() })
 		return
 	}
+	// The expected peer never followed through; forget it so no later
+	// path can mistake a stale expectation for a live exchange.
+	m.expectSrc = 0
 	m.next()
 }
 
@@ -661,6 +754,9 @@ func (m *MACAW) RadioReceive(f *frame.Frame) {
 	if m.halted {
 		return
 	}
+	if m.env.Obs != nil {
+		m.env.Obs.ObserveRx(f)
+	}
 	if f.Dst == m.env.ID() {
 		m.receiveForMe(f)
 		return
@@ -700,12 +796,23 @@ func (m *MACAW) receiveMulticast(f *frame.Frame) {
 		// transmission" (§3.3.4).
 		m.enterQuiet(m.env.Cfg.Turnaround + m.env.Cfg.DataTime(int(f.DataBytes)))
 	case frame.DATA:
-		m.stats.DataReceived++
-		m.env.Callbacks.NotifyDeliver(f.Src, f.Payload)
+		m.deliver(f)
 	}
 }
 
 func (m *MACAW) receiveForMe(f *frame.Frame) {
+	if last, ok := m.seenESN[f.Src]; ok && f.ESN < last {
+		// Exchange numbers only grow within one lifetime of the peer and
+		// per-sender delivery is ordered, so a smaller number means the
+		// peer rebooted and is numbering from scratch. The dedup state the
+		// dead instance earned is then poison: a new packet that happens
+		// to reuse an acknowledged sequence number would be answered with
+		// a spurious repeated ACK (control rule 7) and silently lost.
+		// Resynchronize before acting on the frame.
+		delete(m.everAcked, f.Src)
+		delete(m.lastAcked, f.Src)
+	}
+	m.seenESN[f.Src] = f.ESN
 	m.pol.OnReceive(f)
 	switch f.Type {
 	case frame.RTS:
@@ -767,15 +874,31 @@ func (m *MACAW) onRTS(f *frame.Frame) {
 // can contend with an RRTS on the sender's behalf (§3.3.3: "it only
 // responds to the first received RTS").
 func (m *MACAW) noteRRTS(f *frame.Frame) {
-	if m.opt.RRTS && !m.hasRRTS {
+	if !m.opt.RRTS {
+		return
+	}
+	if !m.hasRRTS {
 		m.hasRRTS = true
 		m.rrtsFor = f.Src
+	}
+	if f.Src == m.rrtsFor {
+		// Each retry from the noted sender proves it is still alive and
+		// still blocked; refresh the note's liveness stamp.
+		m.rrtsSeen = m.env.Sim.Now()
 		m.rrtsLen = int(f.DataBytes)
 	}
 }
 
 // grantRTS answers an RTS with a CTS (or a repeated ACK).
 func (m *MACAW) grantRTS(f *frame.Frame) {
+	if m.hasRRTS && m.rrtsFor == f.Src {
+		// The sender we noted for an RRTS retried on its own and is
+		// being answered right now: the invitation is satisfied. Left
+		// armed, it would fire after this exchange completes and solicit
+		// a transmission the sender no longer has pending (§3.3.3 pairs
+		// each RRTS with one unanswered RTS).
+		m.hasRRTS = false
+	}
 	// Control rule 7: an RTS for the packet acknowledged last time gets
 	// the ACK again instead of a CTS.
 	if m.opt.Exchange.HasACK() && m.everAcked[f.Src] && m.lastAcked[f.Src] == f.Seq {
@@ -790,14 +913,14 @@ func (m *MACAW) grantRTS(f *frame.Frame) {
 		cts.Ack = m.lastAcked[f.Src]
 	}
 	m.pol.StampSend(cts)
-	air := m.env.Radio.Transmit(cts)
+	air := m.transmit(cts)
 	m.stats.CTSSent++
 	m.expectSrc = f.Src
 	if m.opt.Exchange.HasDS() {
-		m.st = WFDS
+		m.setState(WFDS)
 		m.setTimer(air+m.env.Cfg.Turnaround+m.env.Cfg.CtrlTime()+m.env.Cfg.Margin, m.onExpectTimeout)
 	} else {
-		m.st = WFData
+		m.setState(WFData)
 		m.setTimer(air+m.env.Cfg.Turnaround+m.env.Cfg.DataTime(int(f.DataBytes))+m.env.Cfg.Margin, m.onExpectTimeout)
 	}
 }
@@ -834,6 +957,7 @@ func (m *MACAW) onCTS(f *frame.Frame) {
 				m.env.Callbacks.NotifyDropped(p, mac.DropRetries)
 			} else if q := m.queueFor(f.Src); q != nil {
 				q.PushFront(p)
+				m.noteQueue("push", f.Src)
 			}
 			m.next()
 			return
@@ -852,12 +976,12 @@ func (m *MACAW) onCTS(f *frame.Frame) {
 	if m.opt.Exchange.HasDS() {
 		ds := &frame.Frame{Type: frame.DS, Src: m.env.ID(), Dst: m.curDst, DataBytes: uint16(head.Size), Seq: head.Seq()}
 		m.pol.StampSend(ds)
-		air := m.env.Radio.Transmit(ds)
+		air := m.transmit(ds)
 		m.stats.DSSent++
-		m.st = SendData
+		m.setState(SendData)
 		m.setTimer(air, func() { m.timer = sim.Event{}; m.sendData(head) })
 	} else {
-		m.st = SendData
+		m.setState(SendData)
 		m.sendData(head)
 	}
 }
@@ -875,11 +999,11 @@ func (m *MACAW) sendData(head *mac.Packet) {
 	}
 	data := &frame.Frame{Type: frame.DATA, Src: m.env.ID(), Dst: head.Dst, DataBytes: uint16(head.Size), Seq: head.Seq(), Payload: head.Payload, AckRequested: wantAck}
 	m.pol.StampSend(data)
-	air := m.env.Radio.Transmit(data)
+	air := m.transmit(data)
 	m.setTimer(air, func() {
 		m.timer = sim.Event{}
 		if wantAck {
-			m.st = WFACK
+			m.setState(WFACK)
 			m.setTimer(m.env.Cfg.CTSWait(), m.onACKTimeout)
 			return
 		}
@@ -889,6 +1013,7 @@ func (m *MACAW) sendData(head *mac.Packet) {
 			q := m.queueFor(head.Dst)
 			if q != nil && q.Peek() == head {
 				q.Pop()
+				m.noteQueue("pop", head.Dst)
 			}
 			m.pending[head.Dst] = head
 			m.attempts[head.Dst] = 0
@@ -907,6 +1032,7 @@ func (m *MACAW) completeSend(dst frame.NodeID) {
 	var p *mac.Packet
 	if q != nil {
 		p = q.Pop()
+		m.noteQueue("pop", dst)
 	}
 	m.attempts[dst] = 0
 	m.stats.DataSent++
@@ -973,7 +1099,7 @@ func (m *MACAW) onDS(f *frame.Frame) {
 		return
 	}
 	m.clearTimer()
-	m.st = WFData
+	m.setState(WFData)
 	m.setTimer(m.env.Cfg.Turnaround+m.env.Cfg.DataTime(int(f.DataBytes))+m.env.Cfg.Margin, m.onExpectTimeout)
 }
 
@@ -991,8 +1117,7 @@ func (m *MACAW) onData(f *frame.Frame) {
 	}
 	if m.st == WFData && f.Src == m.expectSrc {
 		m.clearTimer()
-		m.stats.DataReceived++
-		m.env.Callbacks.NotifyDeliver(f.Src, f.Payload)
+		m.deliver(f)
 		if m.opt.Exchange.HasACK() {
 			m.lastAcked[f.Src] = f.Seq
 			m.everAcked[f.Src] = true
@@ -1010,21 +1135,20 @@ func (m *MACAW) onData(f *frame.Frame) {
 	}
 	// Data outside the expected window is still data; record it so a
 	// retransmitted copy is not delivered twice.
-	m.stats.DataReceived++
 	if m.opt.Exchange.HasACK() {
 		m.lastAcked[f.Src] = f.Seq
 		m.everAcked[f.Src] = true
 	}
-	m.env.Callbacks.NotifyDeliver(f.Src, f.Payload)
+	m.deliver(f)
 }
 
 // sendAck transmits a link-level ACK and resumes.
 func (m *MACAW) sendAck(dst frame.NodeID, seq uint32) {
 	ack := &frame.Frame{Type: frame.ACK, Src: m.env.ID(), Dst: dst, Seq: seq}
 	m.pol.StampSend(ack)
-	air := m.env.Radio.Transmit(ack)
+	air := m.transmit(ack)
 	m.stats.ACKSent++
-	m.st = SendData
+	m.setState(SendData)
 	m.setTimer(air, func() { m.timer = sim.Event{}; m.next() })
 }
 
@@ -1044,10 +1168,10 @@ func (m *MACAW) onRRTS(f *frame.Frame) {
 	}
 	rts := &frame.Frame{Type: frame.RTS, Src: m.env.ID(), Dst: head.Dst, DataBytes: uint16(head.Size), Seq: head.Seq()}
 	m.pol.StampSend(rts)
-	air := m.env.Radio.Transmit(rts)
+	air := m.transmit(rts)
 	m.stats.RTSSent++
 	m.curDst = head.Dst
-	m.st = WFCTS
+	m.setState(WFCTS)
 	m.setTimer(air+m.env.Cfg.CTSWait(), m.onCTSTimeout)
 }
 

@@ -372,8 +372,10 @@ func TestOverhearingDSDefersStation(t *testing.T) {
 
 func TestRRTSEnablesBlockedReceiver(t *testing.T) {
 	// Figure 6 in miniature: B1 sends to P1; P1 defers to the P2-B2
-	// stream it overhears. With RRTS, P1 contends on B1's behalf.
-	w := newWorld(14)
+	// stream it overhears. With RRTS, P1 contends on B1's behalf. The
+	// scenario is bistable across seeds (see table6's note); this seed is
+	// one where B1's RTSes land while P1 is deferring.
+	w := newWorld(3)
 	b1 := w.add(1, geom.V(0, 0, 12), DefaultOptions())
 	p1 := w.add(2, geom.V(6, 0, 6), DefaultOptions())
 	p2 := w.add(3, geom.V(12, 0, 6), DefaultOptions())

@@ -66,15 +66,25 @@ func TestPiggybackThroughputGain(t *testing.T) {
 	}
 }
 
-// dataSeqDropper corrupts the DATA frame with the given seq at its
-// destination, once.
+// dataSeqDropper corrupts the nth distinct DATA frame at its destination,
+// once. MAC sequence numbers start at a random per-lifetime origin, so the
+// target is identified by position in the stream rather than absolute seq.
 type dataSeqDropper struct {
-	seq  uint32
-	done bool
+	nth      int
+	lastSeq  uint32
+	distinct int
+	done     bool
 }
 
 func (d *dataSeqDropper) Corrupts(_ *rand.Rand, rx *phy.Radio, f *frame.Frame) bool {
-	if !d.done && f.Type == frame.DATA && f.Dst == rx.ID() && f.Seq == d.seq {
+	if d.done || f.Type != frame.DATA || f.Dst != rx.ID() {
+		return false
+	}
+	if d.distinct == 0 || f.Seq != d.lastSeq {
+		d.distinct++
+		d.lastSeq = f.Seq
+	}
+	if d.distinct == d.nth {
 		d.done = true
 		return true
 	}
@@ -86,7 +96,7 @@ func TestPiggybackRecoversLostUnackedData(t *testing.T) {
 	// The next CTS's piggybacked ack (for the previous seq) must trigger
 	// a retransmission, and every packet must still arrive exactly once.
 	w := newWorld(33)
-	w.medium.SetNoise(&dataSeqDropper{seq: 3})
+	w.medium.SetNoise(&dataSeqDropper{nth: 3})
 	a := w.add(1, geom.V(0, 0, 6), pbOptions())
 	b := w.add(2, geom.V(6, 0, 6), pbOptions())
 	for i := 0; i < 10; i++ {
@@ -106,7 +116,7 @@ func TestPiggybackRecoversLostUnackedData(t *testing.T) {
 
 func TestPiggybackOrderPreserved(t *testing.T) {
 	w := newWorld(34)
-	w.medium.SetNoise(&dataSeqDropper{seq: 5})
+	w.medium.SetNoise(&dataSeqDropper{nth: 5})
 	a := w.add(1, geom.V(0, 0, 6), pbOptions())
 	b := w.add(2, geom.V(6, 0, 6), pbOptions())
 	for i := 0; i < 12; i++ {

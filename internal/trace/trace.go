@@ -28,6 +28,14 @@ const (
 	Corrupt Kind = "lost"
 	// Carrier is a carrier-sense transition.
 	Carrier Kind = "carrier"
+	// Transmit is a frame radiated by a station. The radio has no transmit
+	// tap; these events come from MAC-internal observers (the conformance
+	// oracle), not from Recorder wrappers.
+	Transmit Kind = "tx"
+	// Mark is an annotated MAC-internal event (state transition, timer
+	// arm, queue operation, delivery) recorded by a mac.Observer; the
+	// detail lives in Note.
+	Mark Kind = "mark"
 )
 
 // Event is one recorded occurrence.
@@ -40,6 +48,7 @@ type Event struct {
 	Dst     frame.NodeID `json:"dst,omitempty"`
 	Seq     uint32       `json:"seq,omitempty"`
 	Busy    bool         `json:"busy,omitempty"`
+	Note    string       `json:"note,omitempty"`
 }
 
 // String renders the event as one trace line.
@@ -49,6 +58,10 @@ func (e Event) String() string {
 		return fmt.Sprintf("%12.6f  %-4s carrier busy=%v", e.At.Seconds(), e.Station, e.Busy)
 	case Corrupt:
 		return fmt.Sprintf("%12.6f  %-4s LOST %s %v->%v seq=%d", e.At.Seconds(), e.Station, e.Type, e.Src, e.Dst, e.Seq)
+	case Transmit:
+		return fmt.Sprintf("%12.6f  %-4s tx   %s %v->%v seq=%d", e.At.Seconds(), e.Station, e.Type, e.Src, e.Dst, e.Seq)
+	case Mark:
+		return fmt.Sprintf("%12.6f  %-4s %s", e.At.Seconds(), e.Station, e.Note)
 	default:
 		return fmt.Sprintf("%12.6f  %-4s rx   %s %v->%v seq=%d", e.At.Seconds(), e.Station, e.Type, e.Src, e.Dst, e.Seq)
 	}
@@ -64,6 +77,11 @@ type Recorder struct {
 	events  []Event
 	// Sink, if non-nil, receives each event line as it is recorded.
 	Sink io.Writer
+	// Tap, if non-nil, receives every event as it happens, before the
+	// From/To window filter — an online subscription for consumers (such
+	// as the conformance oracle's tests) that need the full stream rather
+	// than the recorded slice.
+	Tap func(Event)
 }
 
 // NewRecorder returns a recorder bound to the simulator clock.
@@ -104,6 +122,9 @@ func (r *Recorder) WriteText(w io.Writer) error {
 }
 
 func (r *Recorder) record(e Event) {
+	if r.Tap != nil {
+		r.Tap(e)
+	}
 	if r.s.Now() < r.From || (r.To > 0 && r.s.Now() >= r.To) {
 		return
 	}
