@@ -3,7 +3,7 @@
 // Usage:
 //
 //	macawsim [-table table1..table11|all] [-chaos] [-audit] [-total SECONDS] [-warmup SECONDS] [-seed N] [-paper]
-//	         [-jobs N] [-cpuprofile FILE] [-memprofile FILE]
+//	         [-jobs N] [-metrics FILE] [-tracejson FILE] [-cpuprofile FILE] [-memprofile FILE]
 //
 // Each table prints the paper's reported packets-per-second next to this
 // reproduction's measurements. -paper selects the paper's 500 s run length;
@@ -18,18 +18,26 @@
 // ordering, deferral, backoff headers, delivery), and any violation aborts
 // with a replayable report naming the seed, station, and rule. The oracle is
 // passive — audited output is byte-identical to an unaudited run.
+// -metrics FILE writes a JSON document of per-station and per-stream metrics
+// (delay histograms, backoff time-series, FSM residency, queue depths) for
+// every run; -tracejson FILE writes every run's MAC-internal events as JSON
+// Lines for cmd/macawtrace -summarize. Both collectors are passive: the
+// table output is byte-identical with or without them, at any -jobs value.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"strings"
 
 	"macaw/internal/experiments"
+	"macaw/internal/metrics"
 	"macaw/internal/sim"
+	"macaw/internal/trace"
 )
 
 func main() {
@@ -42,6 +50,9 @@ func main() {
 	jobs := flag.Int("jobs", 1, "number of simulations to run concurrently (output is identical for any value)")
 	chaos := flag.Bool("chaos", false, "emit the fault-injection robustness table instead of the paper tables")
 	auditFlag := flag.Bool("audit", false, "check every run against the paper's protocol rules; violations abort with a replayable report")
+	metricsOut := flag.String("metrics", "", "write per-station/per-stream metrics for every run as JSON to this file")
+	traceOut := flag.String("tracejson", "", "write every run's MAC events as JSON Lines to this file")
+	traceMax := flag.Int("tracemax", experiments.DefaultTraceMax, "max trace events recorded per run with -tracejson (overflow is counted, not kept)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -87,6 +98,13 @@ func main() {
 	}
 	cfg.Seed = *seed
 	cfg.Audit = *auditFlag
+	if *metricsOut != "" {
+		cfg.Metrics = metrics.NewSink()
+	}
+	if *traceOut != "" {
+		cfg.Trace = trace.NewJSONLSink()
+		cfg.TraceMax = *traceMax
+	}
 	if cfg.Warmup >= cfg.Total {
 		fmt.Fprintln(os.Stderr, "macawsim: warmup must be shorter than total")
 		os.Exit(2)
@@ -107,7 +125,23 @@ func main() {
 		tabs = experiments.NewRunner(*jobs).Tables(gens, cfg)
 	} else {
 		for _, g := range gens {
-			tabs = append(tabs, g.Run(cfg))
+			tabs = append(tabs, g.Run(cfg.ForTable(g.ID)))
+		}
+	}
+
+	if cfg.Metrics != nil {
+		if err := writeFile(*metricsOut, cfg.Metrics.WriteJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "macawsim: -metrics: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if cfg.Trace != nil {
+		if err := writeFile(*traceOut, cfg.Trace.WriteJSONL); err != nil {
+			fmt.Fprintf(os.Stderr, "macawsim: -tracejson: %v\n", err)
+			os.Exit(2)
+		}
+		if d := cfg.Trace.Dropped(); d > 0 {
+			fmt.Fprintf(os.Stderr, "macawsim: -tracejson: %d events beyond the per-run cap (%d) were dropped; raise -tracemax to keep them\n", d, cfg.TraceMax)
 		}
 	}
 
@@ -122,6 +156,19 @@ func main() {
 	for _, tab := range tabs {
 		fmt.Println(tab.Render())
 	}
+}
+
+// writeFile creates path and streams write into it.
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // tableGens resolves the -table selector to generators, exiting on a typo.

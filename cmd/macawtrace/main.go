@@ -5,12 +5,16 @@
 // Usage:
 //
 //	macawtrace [-figure figureN] [-proto maca|macaw|csma] [-seconds N] [-from N] [-seed N] [-json] [-carrier]
+//	macawtrace -jsonl [same flags]     emit a typed JSONL trace including MAC-internal events
+//	macawtrace -summarize FILE         summarize a JSONL trace (from -jsonl or macawsim -tracejson)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 
 	"macaw/internal/core"
 	"macaw/internal/mac/csma"
@@ -27,8 +31,18 @@ func main() {
 	from := flag.Float64("from", 0, "trace window start in seconds")
 	seed := flag.Int64("seed", 1, "random seed")
 	asJSON := flag.Bool("json", false, "emit the trace as JSON")
+	asJSONL := flag.Bool("jsonl", false, "emit the trace as JSON Lines, including MAC-internal events (states, timers, queues, retries, drops)")
 	carrier := flag.Bool("carrier", false, "include carrier-sense transitions")
+	summarize := flag.String("summarize", "", "summarize a JSONL trace file instead of running a simulation")
 	flag.Parse()
+
+	if *summarize != "" {
+		if err := summarizeFile(*summarize); err != nil {
+			fmt.Fprintf(os.Stderr, "macawtrace: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	l, ok := topo.All()[*figure]
 	if !ok {
@@ -49,17 +63,31 @@ func main() {
 	}
 
 	n := core.NewNetwork(*seed)
-	if err := l.Build(n, f); err != nil {
-		fmt.Fprintf(os.Stderr, "macawtrace: %v\n", err)
-		os.Exit(1)
-	}
 	rec := trace.NewRecorder(n.Sim)
 	rec.From = sim.FromSeconds(*from)
 	rec.To = rec.From + sim.FromSeconds(*seconds)
 	rec.Carrier = *carrier
+	if *asJSONL {
+		// MAC-internal events come from the observer bridge, installed at MAC
+		// construction; the radio wrappers already record receptions, so the
+		// bridge's own rx events are suppressed.
+		rec.OmitBridgeRx = true
+		n.AddMACObserver(rec.MACObserver)
+	}
+	if err := l.Build(n, f); err != nil {
+		fmt.Fprintf(os.Stderr, "macawtrace: %v\n", err)
+		os.Exit(1)
+	}
 	rec.AttachAll(n)
 
 	res := n.Run(rec.To+sim.Second, 0)
+	if *asJSONL {
+		if err := rec.WriteJSONL(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "macawtrace: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *asJSON {
 		if err := rec.WriteJSON(os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "macawtrace: %v\n", err)
@@ -71,4 +99,218 @@ func main() {
 	rec.WriteText(os.Stdout)
 	fmt.Println()
 	fmt.Println(res)
+}
+
+// summarizeFile reads a JSONL trace and prints one summary block per run:
+// per-station event timelines, frame counts by type, backoff evolution
+// toward each destination (the Figure 2-style trace), FSM residency, and
+// queue extremes.
+func summarizeFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	events, err := trace.DecodeJSONL(f)
+	if err != nil {
+		return err
+	}
+	if len(events) == 0 {
+		fmt.Println("empty trace")
+		return nil
+	}
+
+	byRun := map[string][]trace.Event{}
+	for _, e := range events {
+		byRun[e.Run] = append(byRun[e.Run], e)
+	}
+	runs := make([]string, 0, len(byRun))
+	for r := range byRun {
+		runs = append(runs, r)
+	}
+	sort.Strings(runs)
+	for _, r := range runs {
+		summarizeRun(r, byRun[r])
+	}
+	return nil
+}
+
+// stationSummary accumulates one station's slice of a run.
+type stationSummary struct {
+	total    int
+	kinds    map[trace.Kind]int
+	txTypes  map[string]int
+	backoff  map[string][]float64 // dst -> observed backoff values, in order
+	resident map[string]sim.Duration
+	curState string
+	curSince sim.Time
+	first    sim.Time
+	last     sim.Time
+	queueMax int
+}
+
+func summarizeRun(run string, events []trace.Event) {
+	stations := map[string]*stationSummary{}
+	var names []string
+	for _, e := range events {
+		ss := stations[e.Station]
+		if ss == nil {
+			ss = &stationSummary{
+				kinds:    map[trace.Kind]int{},
+				txTypes:  map[string]int{},
+				backoff:  map[string][]float64{},
+				resident: map[string]sim.Duration{},
+				curState: "IDLE",
+				curSince: e.At,
+				first:    e.At,
+			}
+			stations[e.Station] = ss
+			names = append(names, e.Station)
+		}
+		ss.total++
+		ss.kinds[e.Kind]++
+		ss.last = e.At
+		switch e.Kind {
+		case trace.Transmit:
+			ss.txTypes[e.Type.String()]++
+			if e.Backoff > 0 {
+				dst := fmt.Sprintf("%v", e.Dst)
+				ss.backoff[dst] = append(ss.backoff[dst], float64(e.Backoff))
+			}
+		case trace.State:
+			ss.resident[ss.curState] += e.At - ss.curSince
+			ss.curState, ss.curSince = e.To, e.At
+		case trace.Queue:
+			if e.QLen > ss.queueMax {
+				ss.queueMax = e.QLen
+			}
+		}
+	}
+	sort.Strings(names)
+
+	title := run
+	if title == "" {
+		title = "(unlabelled run)"
+	}
+	lo, hi := events[0].At, events[0].At
+	for _, e := range events {
+		if e.At < lo {
+			lo = e.At
+		}
+		if e.At > hi {
+			hi = e.At
+		}
+	}
+	fmt.Printf("run %s: %d events, %d stations, %.3fs–%.3fs\n",
+		title, len(events), len(names), lo.Seconds(), hi.Seconds())
+	for _, name := range names {
+		ss := stations[name]
+		ss.resident[ss.curState] += ss.last - ss.curSince
+		fmt.Printf("  %-4s %6d events  [%.3fs, %.3fs]  %s\n",
+			name, ss.total, ss.first.Seconds(), ss.last.Seconds(), kindLine(ss.kinds))
+		if len(ss.txTypes) > 0 {
+			fmt.Printf("       tx by type: %s\n", countLine(ss.txTypes))
+		}
+		if ss.kinds[trace.Queue] > 0 {
+			fmt.Printf("       queue max depth: %d\n", ss.queueMax)
+		}
+		if total := residencyTotal(ss.resident); total > 0 {
+			fmt.Printf("       fsm residency: %s\n", residencyLine(ss.resident, total))
+		}
+		dsts := make([]string, 0, len(ss.backoff))
+		for d := range ss.backoff {
+			dsts = append(dsts, d)
+		}
+		sort.Strings(dsts)
+		for _, d := range dsts {
+			fmt.Printf("       backoff->%s: %s\n", d, sparkline(ss.backoff[d]))
+		}
+	}
+	fmt.Println()
+}
+
+// kindLine renders event counts by kind in a stable order.
+func kindLine(kinds map[trace.Kind]int) string {
+	order := []trace.Kind{trace.Transmit, trace.Receive, trace.Corrupt, trace.Deliver,
+		trace.State, trace.Timer, trace.Queue, trace.Retry, trace.Drop, trace.Carrier, trace.Mark}
+	var parts []string
+	for _, k := range order {
+		if n := kinds[k]; n > 0 {
+			parts = append(parts, fmt.Sprintf("%s %d", k, n))
+		}
+	}
+	return strings.Join(parts, ", ")
+}
+
+// countLine renders a name->count map sorted by name.
+func countLine(m map[string]int) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var parts []string
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s %d", k, m[k]))
+	}
+	return strings.Join(parts, ", ")
+}
+
+func residencyTotal(m map[string]sim.Duration) sim.Duration {
+	var t sim.Duration
+	for _, d := range m {
+		t += d
+	}
+	return t
+}
+
+// residencyLine renders per-state time shares sorted by share, largest first.
+func residencyLine(m map[string]sim.Duration, total sim.Duration) string {
+	type sd struct {
+		s string
+		d sim.Duration
+	}
+	var all []sd
+	for s, d := range m {
+		if d > 0 {
+			all = append(all, sd{s, d})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].d != all[j].d {
+			return all[i].d > all[j].d
+		}
+		return all[i].s < all[j].s
+	})
+	var parts []string
+	for _, x := range all {
+		parts = append(parts, fmt.Sprintf("%s %.1f%%", x.s, 100*float64(x.d)/float64(total)))
+	}
+	return strings.Join(parts, ", ")
+}
+
+// sparkline renders a backoff trace as min/max plus a coarse shape of up to
+// 32 sampled values — enough to see Figure 2-style capture and decay.
+func sparkline(vs []float64) string {
+	if len(vs) == 0 {
+		return "-"
+	}
+	min, max := vs[0], vs[0]
+	for _, v := range vs {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	stride := 1
+	for len(vs)/stride > 32 {
+		stride *= 2
+	}
+	var shape []string
+	for i := 0; i < len(vs); i += stride {
+		shape = append(shape, fmt.Sprintf("%.0f", vs[i]))
+	}
+	return fmt.Sprintf("n=%d min=%g max=%g  %s", len(vs), min, max, strings.Join(shape, " "))
 }

@@ -127,8 +127,16 @@ func (st *Station) newEnv() *mac.Env {
 			Dropped: func(*mac.Packet, mac.DropReason) { st.dropped++ },
 		},
 	}
-	if st.net.obsFactory != nil {
-		env.Obs = st.net.obsFactory(st)
+	switch len(st.net.obsFactories) {
+	case 0:
+	case 1:
+		env.Obs = st.net.obsFactories[0](st)
+	default:
+		obs := make([]mac.Observer, len(st.net.obsFactories))
+		for i, f := range st.net.obsFactories {
+			obs[i] = f(st)
+		}
+		env.Obs = mac.CombineObservers(obs...)
 	}
 	return env
 }
@@ -261,9 +269,9 @@ type Network struct {
 	nextID   frame.NodeID
 	nextSID  uint16
 	warmup   sim.Duration
-	// obsFactory builds the per-MAC-lifetime conformance observer; see
-	// SetMACObserver.
-	obsFactory MACObserverFactory
+	// obsFactories build the per-MAC-lifetime passive observers; see
+	// SetMACObserver and AddMACObserver.
+	obsFactories []MACObserverFactory
 
 	// TCPCfg configures new TCP streams. The default matches the
 	// paper-era TCP §3.3.1 describes: a 0.5 s minimum retransmission
@@ -296,10 +304,21 @@ func NewNetwork(seed int64) *Network {
 type MACObserverFactory func(st *Station) mac.Observer
 
 // SetMACObserver installs a factory producing a passive mac.Observer for
-// every MAC instance the network creates. It must be called before stations
-// are added; observers must not affect simulation behavior (see
-// mac.Observer).
-func (n *Network) SetMACObserver(f MACObserverFactory) { n.obsFactory = f }
+// every MAC instance the network creates, replacing any factories installed
+// so far. It must be called before stations are added; observers must not
+// affect simulation behavior (see mac.Observer).
+func (n *Network) SetMACObserver(f MACObserverFactory) {
+	n.obsFactories = []MACObserverFactory{f}
+}
+
+// AddMACObserver installs an additional observer factory alongside any
+// already present — e.g. the conformance oracle and a metrics collector on
+// the same run. When several are attached, each MAC sees a composite that
+// fans every hook out in attachment order. Like SetMACObserver it must be
+// called before stations are added.
+func (n *Network) AddMACObserver(f MACObserverFactory) {
+	n.obsFactories = append(n.obsFactories, f)
+}
 
 // AddStation creates a station at pos running the protocol built by f.
 func (n *Network) AddStation(name string, pos geom.Vec3, f MACFactory) *Station {

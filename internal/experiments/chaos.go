@@ -64,10 +64,10 @@ func ChaosTable(cfg RunConfig) Table {
 	for pi, p := range protos {
 		futs[pi] = make([]*future[point], len(classes))
 		for ci, c := range classes {
-			mk, apply := p.f, c.apply
+			name, mk, apply := p.name+"/"+c.name, p.f, c.apply
 			futs[pi][ci] = goFuture(cfg, func() point {
 				n := core.NewNetwork(cfg.Seed)
-				audit := cfg.newAudit(n)
+				finish := cfg.instrument(name, n)
 				f := mk()
 				b1 := n.AddStation("B1", geom.V(0, 0, 12), f)
 				b2 := n.AddStation("B2", geom.V(14, 0, 12), f)
@@ -85,7 +85,7 @@ func ChaosTable(cfg RunConfig) Table {
 				w.MaxQueue = 256
 				w.Start(0)
 				res := n.Run(cfg.Total, cfg.Warmup)
-				audit.check()
+				finish(res)
 				fc := in.Counters()
 				return point{
 					pps:  res.TotalPPS(),

@@ -10,9 +10,11 @@ import (
 	"strings"
 
 	"macaw/internal/core"
+	"macaw/internal/metrics"
 	"macaw/internal/oracle"
 	"macaw/internal/sim"
 	"macaw/internal/topo"
+	"macaw/internal/trace"
 )
 
 // RunConfig sets the length of each simulation run.
@@ -30,9 +32,47 @@ type RunConfig struct {
 	// rather than letting a non-conformant run masquerade as a result.
 	Audit bool
 
+	// Metrics, when non-nil, attaches a passive metrics.Collector to every
+	// run and stores each run's snapshot in the sink under a deterministic
+	// label ("<tableID>/<column name>"). Like the oracle, collection is
+	// observation-only: table output stays byte-identical.
+	Metrics *metrics.Sink
+
+	// Trace, when non-nil, records every run's MAC-internal events as
+	// typed trace events and adds them to the sink under the same labels.
+	Trace *trace.JSONLSink
+
+	// TraceMax caps the events recorded per run when Trace is set (0
+	// means DefaultTraceMax). Overflow is counted, not silently lost.
+	TraceMax int
+
 	// runner, when set via WithRunner, executes the independent runs
 	// inside each generator on a worker pool instead of inline.
 	runner *Runner
+
+	// table is the run-label prefix ("table1"…), set by ForTable.
+	table string
+}
+
+// DefaultTraceMax bounds per-run trace recording: enough for several
+// minutes of simulated traffic per station without unbounded memory.
+const DefaultTraceMax = 200_000
+
+// ForTable returns a copy of cfg whose run labels are prefixed with the
+// given table id. Tables applies it automatically; call it directly when
+// invoking a single generator by hand.
+func (cfg RunConfig) ForTable(id string) RunConfig {
+	cfg.table = id
+	return cfg
+}
+
+// runLabel returns the deterministic label identifying one run in the
+// metrics and trace sinks.
+func (cfg RunConfig) runLabel(name string) string {
+	if cfg.table == "" {
+		return name
+	}
+	return cfg.table + "/" + name
 }
 
 // Paper returns the paper's run length.
@@ -165,10 +205,11 @@ func (t Table) MeasuredTotal(i int) float64 {
 }
 
 // runLayout builds the layout on a fresh network, applies mods (noise,
-// mobility, power events), and runs it.
-func runLayout(cfg RunConfig, l topo.Layout, f core.MACFactory, mods ...func(*core.Network)) core.Results {
+// mobility, power events), and runs it. name labels the run in the metrics
+// and trace sinks.
+func runLayout(cfg RunConfig, name string, l topo.Layout, f core.MACFactory, mods ...func(*core.Network)) core.Results {
 	n := core.NewNetwork(cfg.Seed)
-	audit := cfg.newAudit(n)
+	finish := cfg.instrument(name, n)
 	if err := l.Build(n, f); err != nil {
 		panic(fmt.Sprintf("experiments: %v", err))
 	}
@@ -176,8 +217,40 @@ func runLayout(cfg RunConfig, l topo.Layout, f core.MACFactory, mods ...func(*co
 		mod(n)
 	}
 	res := n.Run(cfg.Total, cfg.Warmup)
-	audit.check()
+	finish(res)
 	return res
+}
+
+// instrument attaches every configured passive observer (oracle, metrics
+// collector, trace recorder) to a freshly built network and returns the
+// finish hook to call once with the run's results. It must be called before
+// the layout adds stations. All attachments are observation-only, so an
+// instrumented run's results are byte-identical to a bare one.
+func (cfg RunConfig) instrument(name string, n *core.Network) func(core.Results) {
+	a := cfg.newAudit(n)
+	var col *metrics.Collector
+	if cfg.Metrics != nil {
+		col = metrics.NewCollector()
+		n.AddMACObserver(col.Observer)
+	}
+	var rec *trace.Recorder
+	if cfg.Trace != nil {
+		rec = trace.NewRecorder(n.Sim)
+		rec.Max = cfg.TraceMax
+		if rec.Max == 0 {
+			rec.Max = DefaultTraceMax
+		}
+		n.AddMACObserver(rec.MACObserver)
+	}
+	return func(res core.Results) {
+		a.check()
+		if col != nil {
+			cfg.Metrics.Add(cfg.runLabel(name), col.Snapshot(n, res, cfg.Seed))
+		}
+		if rec != nil {
+			cfg.Trace.Add(cfg.runLabel(name), rec.Events(), rec.Dropped())
+		}
+	}
 }
 
 // audit is the per-run handle of the conformance oracle; the zero value (no

@@ -41,9 +41,10 @@ func ExtAckSchemes(cfg RunConfig) Table {
 	for si, sc := range schemes {
 		futs[si] = make([]*future[float64], len(rates))
 		for pi, p := range rates {
-			opt, p := sc.opt, p
+			name, opt, p := sc.name, sc.opt, p
 			futs[si][pi] = goFuture(cfg, func() float64 {
 				n := core.NewNetwork(cfg.Seed)
+				finish := cfg.instrument(fmt.Sprintf("%s/p=%g", name, p), n)
 				f := core.MACAWFactory(opt)
 				pad := n.AddStation("P", geom.V(-4, 0, 6), f)
 				base := n.AddStation("B", geom.V(0, 0, 12), f)
@@ -51,7 +52,9 @@ func ExtAckSchemes(cfg RunConfig) Table {
 				if p > 0 {
 					n.Medium.SetNoise(phy.DestLoss{P: p})
 				}
-				return n.Run(cfg.Total, cfg.Warmup).PPS("P-B")
+				res := n.Run(cfg.Total, cfg.Warmup)
+				finish(res)
+				return res.PPS("P-B")
 			})
 		}
 	}
@@ -79,9 +82,9 @@ func ExtAckSchemes(cfg RunConfig) Table {
 func ExtCarrierSense(cfg RunConfig) Table {
 	l := topo.Figure5()
 	pol := singlePolicy(backoff.NewMILD(), true)
-	ds := cfg.goRun(l, variant(macaw.Options{Exchange: macaw.Full, PerStream: true}, pol))
-	cs := cfg.goRun(l, variant(macaw.Options{Exchange: macaw.WithACK, PerStream: true, CarrierSense: true}, pol))
-	both := cfg.goRun(l, variant(macaw.Options{Exchange: macaw.Full, PerStream: true, CarrierSense: true}, pol))
+	ds := cfg.goRun("DS", l, variant(macaw.Options{Exchange: macaw.Full, PerStream: true}, pol))
+	cs := cfg.goRun("carrier sense", l, variant(macaw.Options{Exchange: macaw.WithACK, PerStream: true, CarrierSense: true}, pol))
+	both := cfg.goRun("DS + carrier sense", l, variant(macaw.Options{Exchange: macaw.Full, PerStream: true, CarrierSense: true}, pol))
 	return Table{
 		ID: "ext-carriersense", Figure: l.Name,
 		Title:   "§3.3.2 alternatives for exposed terminals: DS packet vs carrier sense vs both",
@@ -102,10 +105,10 @@ func ExtCarrierSense(cfg RunConfig) Table {
 // separate.
 func ExtLeakage(cfg RunConfig) Table {
 	l := topo.Figure8()
-	single := cfg.goRun(l, variant(
+	single := cfg.goRun("Single+copy", l, variant(
 		macaw.Options{Exchange: macaw.Full, PerStream: true, RRTS: true},
 		singlePolicy(backoff.NewMILD(), true)))
-	perDest := cfg.goRun(l, variant(
+	perDest := cfg.goRun("Per-destination", l, variant(
 		macaw.Options{Exchange: macaw.Full, PerStream: true, RRTS: true},
 		perDestPolicy(backoff.NewMILD())))
 	return Table{
@@ -191,25 +194,28 @@ func ExtMulticast(cfg RunConfig) MulticastResult {
 // stations alive and with one pad switched off mid-run (the paper's stated
 // worry: "frequent token hand-offs or recovery").
 func ExtTokenVsMACAW(cfg RunConfig) Table {
-	run := func(f core.MACFactory, kill bool) *future[core.Results] {
+	run := func(name string, f core.MACFactory, kill bool) *future[core.Results] {
 		return goFuture(cfg, func() core.Results {
 			l := topo.Figure3()
 			n := core.NewNetwork(cfg.Seed)
+			finish := cfg.instrument(name, n)
 			if err := l.Build(n, f); err != nil {
 				panic(err)
 			}
 			if kill {
 				n.PowerOff(n.Station("P6"), cfg.Warmup/2)
 			}
-			return n.Run(cfg.Total, cfg.Warmup)
+			res := n.Run(cfg.Total, cfg.Warmup)
+			finish(res)
+			return res
 		})
 	}
 	tokenF := core.TokenFactory(token.Options{Ring: core.RingOf(7)})
 	macawF := core.MACAWFactory(macaw.DefaultOptions())
-	tokenAlive := run(tokenF, false)
-	macawAlive := run(macawF, false)
-	tokenDead := run(tokenF, true)
-	macawDead := run(macawF, true)
+	tokenAlive := run("token", tokenF, false)
+	macawAlive := run("MACAW", macawF, false)
+	tokenDead := run("token, P6 dead", tokenF, true)
+	macawDead := run("MACAW, P6 dead", macawF, true)
 	return Table{
 		ID: "ext-token", Figure: "figure3",
 		Title:   "future work implemented: token passing vs MACAW, healthy and with a dead pad",
@@ -264,9 +270,10 @@ func ExtLoadSweep(cfg RunConfig) Table {
 	for pi, p := range protos {
 		futs[pi] = make([]*future[point], len(rates))
 		for ri, r := range rates {
-			mk, r := p.f, r
+			name, mk, r := p.name, p.f, r
 			futs[pi][ri] = goFuture(cfg, func() point {
 				n := core.NewNetwork(cfg.Seed)
+				finish := cfg.instrument(fmt.Sprintf("%s/offered=%gx4", name, r), n)
 				f := mk()
 				base := n.AddStation("B", geom.V(0, 0, 12), f)
 				for i := 0; i < 4; i++ {
@@ -274,6 +281,7 @@ func ExtLoadSweep(cfg RunConfig) Table {
 					n.AddStream(pad, base, core.UDP, r)
 				}
 				out := n.Run(cfg.Total, cfg.Warmup)
+				finish(out)
 				var meanDelay float64
 				var nd int
 				for _, s := range out.Streams {

@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"macaw/internal/core"
+	"macaw/internal/geom"
+	"macaw/internal/mac/csma"
+	"macaw/internal/metrics"
+	"macaw/internal/sim"
+	"macaw/internal/topo"
+	"macaw/internal/trace"
+)
+
+// diffCfg is short enough to sweep every generator three times while still
+// exercising contention, retries, drops, and the chaos fault classes.
+func diffCfg() RunConfig {
+	return RunConfig{Total: 12 * sim.Second, Warmup: 2 * sim.Second, Seed: 1}
+}
+
+// renderAllInstr runs every generator (paper tables, extensions, chaos) under cfg
+// at the given parallelism and returns the concatenated rendered tables.
+func renderAllInstr(cfg RunConfig, jobs int) string {
+	gens := append(All(), Extensions()...)
+	gens = append(gens, ChaosGenerator())
+	var tabs []Table
+	if jobs > 1 {
+		tabs = NewRunner(jobs).Tables(gens, cfg)
+	} else {
+		for _, g := range gens {
+			tabs = append(tabs, g.Run(cfg.ForTable(g.ID)))
+		}
+	}
+	var b strings.Builder
+	for _, tab := range tabs {
+		b.WriteString(tab.Render())
+	}
+	return b.String()
+}
+
+// TestMetricsDisabledEnabledByteIdentical is the passivity contract's
+// enforcement point: attaching the metrics collector and the trace recorder
+// to every run — tables, extensions, and the chaos table, covering the MACA,
+// MACAW, and token MACs — must leave the rendered output byte-identical to a
+// bare run, serially and at -jobs 4. The instrumented documents themselves
+// must also be byte-identical across parallelism levels.
+func TestMetricsDisabledEnabledByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweeps every generator three times")
+	}
+	base := renderAllInstr(diffCfg(), 1)
+
+	var metricsDocs, traceDocs [][]byte
+	for _, jobs := range []int{1, 4} {
+		cfg := diffCfg()
+		cfg.Metrics = metrics.NewSink()
+		cfg.Trace = trace.NewJSONLSink()
+		got := renderAllInstr(cfg, jobs)
+		if got != base {
+			t.Errorf("jobs=%d: instrumented output differs from bare output", jobs)
+		}
+		if cfg.Metrics.Len() == 0 {
+			t.Fatalf("jobs=%d: metrics sink stayed empty", jobs)
+		}
+		if cfg.Trace.Len() == 0 {
+			t.Fatalf("jobs=%d: trace sink stayed empty", jobs)
+		}
+		var mb, tb bytes.Buffer
+		if err := cfg.Metrics.WriteJSON(&mb); err != nil {
+			t.Fatal(err)
+		}
+		if err := cfg.Trace.WriteJSONL(&tb); err != nil {
+			t.Fatal(err)
+		}
+		metricsDocs = append(metricsDocs, mb.Bytes())
+		traceDocs = append(traceDocs, tb.Bytes())
+	}
+	if !bytes.Equal(metricsDocs[0], metricsDocs[1]) {
+		t.Error("metrics JSON differs between jobs=1 and jobs=4")
+	}
+	if !bytes.Equal(traceDocs[0], traceDocs[1]) {
+		t.Error("trace JSONL differs between jobs=1 and jobs=4")
+	}
+}
+
+// TestMetricsDifferentialCSMA covers the one MAC the tables never run:
+// instrumenting a CSMA network must not change its results.
+func TestMetricsDifferentialCSMA(t *testing.T) {
+	run := func(cfg RunConfig) core.Results {
+		n := core.NewNetwork(cfg.Seed)
+		finish := cfg.instrument("csma", n)
+		f := core.CSMAFactory(csma.Options{ACK: true})
+		p1 := n.AddStation("P1", geom.V(-4, 3, 6), f)
+		p2 := n.AddStation("P2", geom.V(4, 3, 6), f)
+		b := n.AddStation("B", geom.V(0, 0, 12), f)
+		n.AddStream(p1, b, core.UDP, 20)
+		n.AddStream(p2, b, core.UDP, 20)
+		res := n.Run(cfg.Total, cfg.Warmup)
+		finish(res)
+		return res
+	}
+	bare := run(diffCfg())
+	cfg := diffCfg()
+	cfg.Metrics = metrics.NewSink()
+	cfg.Trace = trace.NewJSONLSink()
+	instr := run(cfg)
+	if !reflect.DeepEqual(bare, instr) {
+		t.Error("instrumented CSMA results differ from bare run")
+	}
+	if cfg.Metrics.Run("csma") == nil {
+		t.Fatal("metrics sink missing the csma run")
+	}
+}
+
+// TestMetricsSnapshotTable2 pins the acceptance shape: an instrumented
+// Table 2 run yields per-station delay histograms and per-destination
+// backoff time-series.
+func TestMetricsSnapshotTable2(t *testing.T) {
+	cfg := diffCfg().ForTable("table2")
+	cfg.Metrics = metrics.NewSink()
+	Table2(cfg)
+	rm := cfg.Metrics.Run("table2/MILD copy")
+	if rm == nil {
+		t.Fatalf("missing run; have %v", cfg.Metrics.Labels())
+	}
+	if rm.Engine.EventsFired == 0 || rm.Engine.MaxEventQueue == 0 {
+		t.Errorf("engine counters empty: %+v", rm.Engine)
+	}
+	l := topo.Figure3()
+	if len(rm.Stations) != len(l.Stations) {
+		t.Fatalf("got %d stations, want %d", len(rm.Stations), len(l.Stations))
+	}
+	p1 := rm.Stations["P1"]
+	if p1 == nil {
+		t.Fatal("missing station P1")
+	}
+	if h := p1.Histograms["delay_s"]; h == nil || h.Count == 0 {
+		t.Error("P1 delay histogram missing or empty")
+	}
+	if s := p1.Series["backoff_to_B"]; s == nil || s.Len() == 0 {
+		t.Errorf("P1 backoff series missing or empty; have %v", seriesKeys(p1.Registry))
+	}
+	if len(p1.FSMResidencyS) == 0 {
+		t.Error("P1 FSM residency empty")
+	}
+	sm := rm.Streams["P1-B"]
+	if sm == nil || sm.Delay == nil || sm.Delay.Count == 0 {
+		t.Error("stream P1-B delay histogram missing or empty")
+	}
+}
+
+func seriesKeys(r *metrics.Registry) []string {
+	var out []string
+	for k := range r.Series {
+		out = append(out, k)
+	}
+	return out
+}

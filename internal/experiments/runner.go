@@ -72,9 +72,9 @@ func goFuture[T any](cfg RunConfig, fn func() T) *future[T] {
 }
 
 // goRun dispatches the standard build-layout-and-run shape (the future twin
-// of runLayout).
-func (cfg RunConfig) goRun(l topo.Layout, f core.MACFactory, mods ...func(*core.Network)) *future[core.Results] {
-	return goFuture(cfg, func() core.Results { return runLayout(cfg, l, f, mods...) })
+// of runLayout). name labels the run in the metrics and trace sinks.
+func (cfg RunConfig) goRun(name string, l topo.Layout, f core.MACFactory, mods ...func(*core.Network)) *future[core.Results] {
+	return goFuture(cfg, func() core.Results { return runLayout(cfg, name, l, f, mods...) })
 }
 
 // Tables runs the generators — concurrently across and within tables — and
@@ -89,7 +89,7 @@ func (r *Runner) Tables(gens []Generator, cfg RunConfig) []Table {
 		wg.Add(1)
 		go func(i int, g Generator) {
 			defer wg.Done()
-			out[i] = g.Run(cfg)
+			out[i] = g.Run(cfg.ForTable(g.ID))
 		}(i, g)
 	}
 	wg.Wait()

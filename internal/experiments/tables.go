@@ -34,8 +34,8 @@ func variant(opt macaw.Options, pol func() backoff.Policy) core.MACFactory {
 func Table1(cfg RunConfig) Table {
 	l := topo.Figure2()
 	basic := macaw.Options{Exchange: macaw.Basic}
-	beb := cfg.goRun(l, variant(basic, singlePolicy(backoff.NewBEB(), false)))
-	bebCopy := cfg.goRun(l, variant(basic, singlePolicy(backoff.NewBEB(), true)))
+	beb := cfg.goRun("BEB", l, variant(basic, singlePolicy(backoff.NewBEB(), false)))
+	bebCopy := cfg.goRun("BEB+copy", l, variant(basic, singlePolicy(backoff.NewBEB(), true)))
 	return Table{
 		ID: "table1", Figure: l.Name,
 		Title:   "throughput of two saturating pads under BEB, without and with backoff copying",
@@ -53,8 +53,8 @@ func Table1(cfg RunConfig) Table {
 func Table2(cfg RunConfig) Table {
 	l := topo.Figure3()
 	basic := macaw.Options{Exchange: macaw.Basic}
-	beb := cfg.goRun(l, variant(basic, singlePolicy(backoff.NewBEB(), true)))
-	mild := cfg.goRun(l, variant(basic, singlePolicy(backoff.NewMILD(), true)))
+	beb := cfg.goRun("BEB copy", l, variant(basic, singlePolicy(backoff.NewBEB(), true)))
+	mild := cfg.goRun("MILD copy", l, variant(basic, singlePolicy(backoff.NewMILD(), true)))
 	return Table{
 		ID: "table2", Figure: l.Name,
 		Title:   "six-pad cell: BEB+copy vs MILD+copy",
@@ -75,13 +75,13 @@ func Table2(cfg RunConfig) Table {
 // (bandwidth allocated to streams).
 func Table3(cfg RunConfig) Table {
 	l := topo.Figure4()
-	single := cfg.goRun(l, variant(
+	single := cfg.goRun("Single Stream", l, variant(
 		macaw.Options{Exchange: macaw.Basic, PerStream: false},
 		singlePolicy(backoff.NewMILD(), true)))
 	// §3.2's multiple-stream model keeps a single backoff counter ("Since
 	// there is a single base station backoff counter, all streams have an
 	// equal chance of being chosen"); per-stream counters arrive in §3.4.
-	multi := cfg.goRun(l, variant(
+	multi := cfg.goRun("Multiple Stream", l, variant(
 		macaw.Options{Exchange: macaw.Basic, PerStream: true},
 		singlePolicy(backoff.NewMILD(), true)))
 	return Table{
@@ -105,9 +105,10 @@ var table4Rates = []float64{0, 0.001, 0.01, 0.1}
 // Table4 reproduces Table 4: one TCP stream from a pad to its base under
 // intermittent noise, with and without the link-level ACK.
 func Table4(cfg RunConfig) Table {
-	run := func(exchange macaw.Exchange, p float64) *future[float64] {
+	run := func(name string, exchange macaw.Exchange, p float64) *future[float64] {
 		return goFuture(cfg, func() float64 {
 			n := core.NewNetwork(cfg.Seed)
+			finish := cfg.instrument(fmt.Sprintf("%s/p=%g", name, p), n)
 			f := variant(macaw.Options{Exchange: exchange}, singlePolicy(backoff.NewMILD(), true))
 			pad := n.AddStation("P", geom.V(-4, 0, 6), f)
 			base := n.AddStation("B", geom.V(0, 0, 12), f)
@@ -116,20 +117,21 @@ func Table4(cfg RunConfig) Table {
 				n.Medium.SetNoise(phy.DestLoss{P: p})
 			}
 			res := n.Run(cfg.Total, cfg.Warmup)
+			finish(res)
 			return res.PPS("P-B")
 		})
 	}
-	mkFutures := func(exchange macaw.Exchange) []*future[float64] {
+	mkFutures := func(name string, exchange macaw.Exchange) []*future[float64] {
 		futs := make([]*future[float64], len(table4Rates))
 		for i, p := range table4Rates {
-			futs[i] = run(exchange, p)
+			futs[i] = run(name, exchange, p)
 		}
 		return futs
 	}
 	// Submit every run before collecting the first, so a parallel runner
 	// overlaps all eight.
-	basicF := mkFutures(macaw.Basic)
-	ackedF := mkFutures(macaw.WithACK)
+	basicF := mkFutures("RTS-CTS-DATA", macaw.Basic)
+	ackedF := mkFutures("RTS-CTS-DATA-ACK", macaw.WithACK)
 	collect := func(futs []*future[float64]) core.Results {
 		var r core.Results
 		for i, p := range table4Rates {
@@ -162,8 +164,8 @@ func Table4(cfg RunConfig) Table {
 func Table5(cfg RunConfig) Table {
 	l := topo.Figure5()
 	pol := singlePolicy(backoff.NewMILD(), true)
-	noDS := cfg.goRun(l, variant(macaw.Options{Exchange: macaw.WithACK, PerStream: true}, pol))
-	ds := cfg.goRun(l, variant(macaw.Options{Exchange: macaw.Full, PerStream: true}, pol))
+	noDS := cfg.goRun("RTS-CTS-DATA-ACK", l, variant(macaw.Options{Exchange: macaw.WithACK, PerStream: true}, pol))
+	ds := cfg.goRun("RTS-CTS-DS-DATA-ACK", l, variant(macaw.Options{Exchange: macaw.Full, PerStream: true}, pol))
 	return Table{
 		ID: "table5", Figure: l.Name,
 		Title:   "exposed terminals without and with the DS packet",
@@ -184,8 +186,8 @@ func Table5(cfg RunConfig) Table {
 func Table6(cfg RunConfig) Table {
 	l := topo.Figure6()
 	pol := singlePolicy(backoff.NewMILD(), true)
-	noRRTS := cfg.goRun(l, variant(macaw.Options{Exchange: macaw.Full, PerStream: true, RRTS: false}, pol))
-	rrts := cfg.goRun(l, variant(macaw.Options{Exchange: macaw.Full, PerStream: true, RRTS: true}, pol))
+	noRRTS := cfg.goRun("no RRTS", l, variant(macaw.Options{Exchange: macaw.Full, PerStream: true, RRTS: false}, pol))
+	rrts := cfg.goRun("RRTS", l, variant(macaw.Options{Exchange: macaw.Full, PerStream: true, RRTS: true}, pol))
 	return Table{
 		ID: "table6", Figure: l.Name,
 		Title:   "receiver-side contention without and with RRTS",
@@ -206,7 +208,7 @@ func Table6(cfg RunConfig) Table {
 // does not solve — B1's RTS packets are jammed at P1 by P2's data.
 func Table7(cfg RunConfig) Table {
 	l := topo.Figure7()
-	res := cfg.goRun(l, core.MACAWFactory(macaw.DefaultOptions()))
+	res := cfg.goRun("MACAW", l, core.MACAWFactory(macaw.DefaultOptions()))
 	return Table{
 		ID: "table7", Figure: l.Name,
 		Title:   "the unsolved two-cell configuration under full MACAW",
@@ -225,10 +227,10 @@ func Table8(cfg RunConfig) Table {
 	powerOff := func(n *core.Network) {
 		n.PowerOff(n.Station("P1"), cfg.Warmup/2)
 	}
-	single := cfg.goRun(l, variant(
+	single := cfg.goRun("Single backoff", l, variant(
 		macaw.Options{Exchange: macaw.Full, PerStream: true, RRTS: true},
 		singlePolicy(backoff.NewMILD(), true)), powerOff)
-	perDest := cfg.goRun(l, variant(
+	perDest := cfg.goRun("Per-destination backoff", l, variant(
 		macaw.Options{Exchange: macaw.Full, PerStream: true, RRTS: true},
 		perDestPolicy(backoff.NewMILD())), powerOff)
 	rows := []string{"B-P2", "P2-B", "B-P3", "P3-B"}
@@ -249,17 +251,20 @@ func Table8(cfg RunConfig) Table {
 // Table9 reproduces Table 9: single-stream overhead of MACAW's longer
 // exchange relative to MACA.
 func Table9(cfg RunConfig) Table {
-	run := func(f core.MACFactory) *future[core.Results] {
+	run := func(name string, f core.MACFactory) *future[core.Results] {
 		return goFuture(cfg, func() core.Results {
 			n := core.NewNetwork(cfg.Seed)
+			finish := cfg.instrument(name, n)
 			pad := n.AddStation("P", geom.V(-4, 0, 6), f)
 			base := n.AddStation("B", geom.V(0, 0, 12), f)
 			n.AddStream(pad, base, core.UDP, 64)
-			return n.Run(cfg.Total, cfg.Warmup)
+			res := n.Run(cfg.Total, cfg.Warmup)
+			finish(res)
+			return res
 		})
 	}
-	maca := run(core.MACAFactory())
-	macawRes := run(core.MACAWFactory(macaw.DefaultOptions()))
+	maca := run("MACA", core.MACAFactory())
+	macawRes := run("MACAW", core.MACAWFactory(macaw.DefaultOptions()))
 	return Table{
 		ID: "table9", Figure: "single cell",
 		Title:   "single unicast stream: MACA vs MACAW overhead",
@@ -275,8 +280,8 @@ func Table9(cfg RunConfig) Table {
 // MACA and MACAW.
 func Table10(cfg RunConfig) Table {
 	l := topo.Figure10()
-	macaRes := cfg.goRun(l, core.MACAFactory())
-	macawRes := cfg.goRun(l, core.MACAWFactory(macaw.DefaultOptions()))
+	macaRes := cfg.goRun("MACA", l, core.MACAFactory())
+	macawRes := cfg.goRun("MACAW", l, core.MACAWFactory(macaw.DefaultOptions()))
 	return Table{
 		ID: "table10", Figure: l.Name,
 		Title:   "three cells, eleven streams: MACA vs MACAW",
@@ -307,8 +312,8 @@ func Table11(cfg RunConfig) Table {
 		p7.Radio().SetPos(mv.Start)
 		n.MoveStation(p7, moveTime(cfg), mv.Dest)
 	}
-	macaRes := cfg.goRun(l, core.MACAFactory(), mods)
-	macawRes := cfg.goRun(l, core.MACAWFactory(macaw.DefaultOptions()), mods)
+	macaRes := cfg.goRun("MACA", l, core.MACAFactory(), mods)
+	macawRes := cfg.goRun("MACAW", l, core.MACAWFactory(macaw.DefaultOptions()), mods)
 	return Table{
 		ID: "table11", Figure: l.Name,
 		Title:   "office scenario (TCP, noise, mobility): MACA vs MACAW",

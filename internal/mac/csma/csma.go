@@ -49,9 +49,10 @@ type Options struct {
 
 // CSMA is one station's protocol instance.
 type CSMA struct {
-	env *mac.Env
-	opt Options
-	pol backoff.Policy
+	env  *mac.Env
+	opt  Options
+	pol  backoff.Policy
+	lobs mac.LossObserver // optional retry/drop extension of env.Obs
 
 	st      State
 	q       mac.Queue
@@ -64,7 +65,7 @@ type CSMA struct {
 
 // New returns a CSMA instance bound to env's radio.
 func New(env *mac.Env, opt Options) *CSMA {
-	c := &CSMA{env: env, opt: opt, pol: opt.Policy}
+	c := &CSMA{env: env, opt: opt, pol: opt.Policy, lobs: mac.AsLossObserver(env.Obs)}
 	if c.pol == nil {
 		c.pol = backoff.NewSingle(backoff.NewBEB(), false)
 	}
@@ -106,6 +107,7 @@ func (c *CSMA) Halt() {
 	c.st = Idle
 	for p := c.q.Pop(); p != nil; p = c.q.Pop() {
 		c.stats.Drops++
+		c.noteDrop(p.Dst, mac.DropDisabled)
 		c.env.Callbacks.NotifyDropped(p, mac.DropDisabled)
 	}
 }
@@ -163,6 +165,20 @@ func (c *CSMA) setState(s State) {
 func (c *CSMA) noteQueue(op string, dst frame.NodeID) {
 	if c.env.Obs != nil {
 		c.env.Obs.ObserveQueue(op, dst, c.q.Len())
+	}
+}
+
+// noteRetry reports a retried attempt to the loss observer.
+func (c *CSMA) noteRetry(dst frame.NodeID) {
+	if c.lobs != nil {
+		c.lobs.ObserveRetry(dst)
+	}
+}
+
+// noteDrop reports an abandoned packet to the loss observer.
+func (c *CSMA) noteDrop(dst frame.NodeID, reason mac.DropReason) {
+	if c.lobs != nil {
+		c.lobs.ObserveDrop(dst, reason)
 	}
 }
 
@@ -224,13 +240,17 @@ func (c *CSMA) onACKTimeout() {
 	c.pol.OnFailure(0)
 	c.retries++
 	c.stats.Retries++
-	if head := c.q.Peek(); head != nil && c.retries > c.env.Cfg.MaxRetries {
-		c.q.Pop()
-		c.noteQueue("drop", head.Dst)
-		c.retries = 0
-		c.stats.Drops++
-		c.pol.OnGiveUp(head.Dst)
-		c.env.Callbacks.NotifyDropped(head, mac.DropRetries)
+	if head := c.q.Peek(); head != nil {
+		c.noteRetry(head.Dst)
+		if c.retries > c.env.Cfg.MaxRetries {
+			c.q.Pop()
+			c.noteQueue("drop", head.Dst)
+			c.retries = 0
+			c.stats.Drops++
+			c.noteDrop(head.Dst, mac.DropRetries)
+			c.pol.OnGiveUp(head.Dst)
+			c.env.Callbacks.NotifyDropped(head, mac.DropRetries)
+		}
 	}
 	c.schedule()
 }

@@ -49,8 +49,9 @@ func WithPolicy(p backoff.Policy) Option { return func(m *MACA) { m.pol = p } }
 
 // MACA is one station's protocol instance.
 type MACA struct {
-	env *mac.Env
-	pol backoff.Policy
+	env  *mac.Env
+	pol  backoff.Policy
+	lobs mac.LossObserver // optional retry/drop extension of env.Obs
 
 	st         State
 	q          mac.Queue
@@ -67,7 +68,7 @@ type MACA struct {
 // New returns a MACA instance bound to env's radio. It installs itself as
 // the radio's handler.
 func New(env *mac.Env, opts ...Option) *MACA {
-	m := &MACA{env: env, pol: backoff.NewSingle(backoff.NewBEB(), false)}
+	m := &MACA{env: env, pol: backoff.NewSingle(backoff.NewBEB(), false), lobs: mac.AsLossObserver(env.Obs)}
 	for _, o := range opts {
 		o(m)
 	}
@@ -109,6 +110,7 @@ func (m *MACA) Halt() {
 	m.deferUntil = 0
 	for p := m.q.Pop(); p != nil; p = m.q.Pop() {
 		m.stats.Drops++
+		m.noteDrop(p.Dst, mac.DropDisabled)
 		m.env.Callbacks.NotifyDropped(p, mac.DropDisabled)
 	}
 }
@@ -192,6 +194,20 @@ func (m *MACA) noteQueue(op string, dst frame.NodeID) {
 	}
 }
 
+// noteRetry reports a retried attempt to the loss observer.
+func (m *MACA) noteRetry(dst frame.NodeID) {
+	if m.lobs != nil {
+		m.lobs.ObserveRetry(dst)
+	}
+}
+
+// noteDrop reports an abandoned packet to the loss observer.
+func (m *MACA) noteDrop(dst frame.NodeID, reason mac.DropReason) {
+	if m.lobs != nil {
+		m.lobs.ObserveDrop(dst, reason)
+	}
+}
+
 // enterContend schedules the next RTS attempt "an integer number of slot
 // times after the end of the last defer period", the integer drawn uniformly
 // from 1..BO.
@@ -250,11 +266,13 @@ func (m *MACA) failAttempt() {
 	m.pol.OnFailure(m.curDst)
 	m.retries++
 	m.stats.Retries++
+	m.noteRetry(m.curDst)
 	if head != nil && m.retries > m.env.Cfg.MaxRetries {
 		m.q.Pop()
 		m.noteQueue("drop", head.Dst)
 		m.retries = 0
 		m.stats.Drops++
+		m.noteDrop(head.Dst, mac.DropRetries)
 		m.pol.OnGiveUp(head.Dst)
 		m.env.Callbacks.NotifyDropped(head, mac.DropRetries)
 	}

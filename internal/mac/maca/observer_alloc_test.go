@@ -1,0 +1,24 @@
+package maca
+
+import (
+	"testing"
+
+	"macaw/internal/geom"
+	"macaw/internal/mac"
+)
+
+// TestDisabledObserverHooksAllocationFree pins the cost side of the
+// passivity contract (DESIGN.md §12): with no observer attached, the note
+// hooks must be a nil check and nothing else — zero allocations — so
+// instrumentation support cannot tax a bare run.
+func TestDisabledObserverHooksAllocationFree(t *testing.T) {
+	w := newWorld(1)
+	st := w.addStation(1, geom.V(0, 0, 6))
+	if n := testing.AllocsPerRun(100, func() {
+		st.m.noteQueue("push", 2)
+		st.m.noteRetry(2)
+		st.m.noteDrop(2, mac.DropRetries)
+	}); n != 0 {
+		t.Fatalf("disabled observer hooks allocated %.1f times per call set, want 0", n)
+	}
+}

@@ -131,9 +131,10 @@ type contender struct {
 
 // MACAW is one station's protocol instance.
 type MACAW struct {
-	env *mac.Env
-	opt Options
-	pol backoff.Policy
+	env  *mac.Env
+	opt  Options
+	pol  backoff.Policy
+	lobs mac.LossObserver // optional retry/drop extension of env.Obs
 
 	st         State
 	timer      sim.Event
@@ -192,6 +193,7 @@ func New(env *mac.Env, opt Options) *MACAW {
 		env:            env,
 		opt:            opt,
 		pol:            opt.Policy,
+		lobs:           mac.AsLossObserver(env.Obs),
 		streams:        mac.NewStreamQueues(),
 		attempts:       make(map[frame.NodeID]int),
 		lastAcked:      make(map[frame.NodeID]uint32),
@@ -257,6 +259,7 @@ func (m *MACAW) Halt() {
 	drain := func(q *mac.Queue) {
 		for p := q.Pop(); p != nil; p = q.Pop() {
 			m.stats.Drops++
+			m.noteDrop(p.Dst, mac.DropDisabled)
 			m.env.Callbacks.NotifyDropped(p, mac.DropDisabled)
 		}
 	}
@@ -278,6 +281,7 @@ func (m *MACAW) Halt() {
 		p := m.pending[d]
 		delete(m.pending, d)
 		m.stats.Drops++
+		m.noteDrop(d, mac.DropDisabled)
 		m.env.Callbacks.NotifyDropped(p, mac.DropDisabled)
 	}
 }
@@ -422,6 +426,20 @@ func (m *MACAW) noteQueue(op string, dst frame.NodeID) {
 		n = q.Len()
 	}
 	m.env.Obs.ObserveQueue(op, dst, n)
+}
+
+// noteRetry reports a retried attempt to the loss observer.
+func (m *MACAW) noteRetry(dst frame.NodeID) {
+	if m.lobs != nil {
+		m.lobs.ObserveRetry(dst)
+	}
+}
+
+// noteDrop reports an abandoned packet to the loss observer.
+func (m *MACAW) noteDrop(dst frame.NodeID, reason mac.DropReason) {
+	if m.lobs != nil {
+		m.lobs.ObserveDrop(dst, reason)
+	}
 }
 
 // contendTargets lists the destinations with pending work.
@@ -594,6 +612,7 @@ func (m *MACAW) onCTSTimeout() {
 	m.timer = sim.Event{}
 	m.pol.OnFailure(m.curDst)
 	m.stats.Retries++
+	m.noteRetry(m.curDst)
 	m.bumpAttempts(m.curDst)
 	m.next()
 }
@@ -610,6 +629,7 @@ func (m *MACAW) bumpAttempts(dst frame.NodeID) {
 			q.Pop()
 			m.noteQueue("drop", dst)
 			m.stats.Drops++
+			m.noteDrop(dst, mac.DropRetries)
 			m.pol.OnGiveUp(dst)
 			m.env.Callbacks.NotifyDropped(p, mac.DropRetries)
 		}
@@ -949,10 +969,12 @@ func (m *MACAW) onCTS(f *frame.Frame) {
 			// direction is dead would otherwise retry forever.
 			delete(m.pending, f.Src)
 			m.stats.Retries++
+			m.noteRetry(f.Src)
 			m.pendingRetries[f.Src]++
 			if m.pendingRetries[f.Src] > m.env.Cfg.MaxRetries {
 				delete(m.pendingRetries, f.Src)
 				m.stats.Drops++
+				m.noteDrop(f.Src, mac.DropRetries)
 				m.pol.OnGiveUp(f.Src)
 				m.env.Callbacks.NotifyDropped(p, mac.DropRetries)
 			} else if q := m.queueFor(f.Src); q != nil {
@@ -1056,6 +1078,7 @@ func (m *MACAW) onACKTimeout() {
 	m.timer = sim.Event{}
 	m.pol.OnFailure(m.curDst)
 	m.stats.Retries++
+	m.noteRetry(m.curDst)
 	m.bumpAttempts(m.curDst)
 	m.next()
 }
@@ -1184,6 +1207,7 @@ func (m *MACAW) onNACK(f *frame.Frame) {
 	}
 	m.clearTimer()
 	m.stats.Retries++
+	m.noteRetry(m.curDst)
 	m.bumpAttempts(m.curDst)
 	m.next()
 }

@@ -1,0 +1,126 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"macaw/internal/sim"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.N != 5 {
+		t.Errorf("counter = %d, want 5", c.N)
+	}
+	b, err := json.Marshal(&c)
+	if err != nil || string(b) != "5" {
+		t.Errorf("counter JSON = %s, %v; want bare 5", b, err)
+	}
+
+	var g Gauge
+	for _, v := range []float64{3, -1, 7} {
+		g.Set(v)
+	}
+	if g.Last != 7 || g.Min != -1 || g.Max != 7 || g.N != 3 {
+		t.Errorf("gauge = %+v", g)
+	}
+}
+
+func TestHistogramBucketsAndQuantile(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	// v lands in the first bucket with v <= bound; 100 overflows.
+	want := []int64{2, 1, 1, 1}
+	for i, n := range want {
+		if h.Counts[i] != n {
+			t.Errorf("bucket %d = %d, want %d (all: %v)", i, h.Counts[i], n, h.Counts)
+		}
+	}
+	if h.Count != 5 || h.Min != 0.5 || h.Max != 100 {
+		t.Errorf("count/min/max = %d/%g/%g", h.Count, h.Min, h.Max)
+	}
+	if m := h.Mean(); m != (0.5+1+1.5+3+100)/5 {
+		t.Errorf("mean = %g", m)
+	}
+	if q := h.Quantile(0.5); q != 2 {
+		t.Errorf("p50 = %g, want bucket bound 2", q)
+	}
+	if q := h.Quantile(1); q != 100 {
+		t.Errorf("p100 = %g, want overflow max 100", q)
+	}
+	if q := (&Histogram{}).Quantile(0.5); q != 0 {
+		t.Errorf("empty quantile = %g", q)
+	}
+}
+
+func TestSeriesDecimationDeterministic(t *testing.T) {
+	s := &Series{MaxPoints: 8}
+	for i := 0; i < 1000; i++ {
+		s.Observe(sim.Time(i), float64(i))
+	}
+	if s.Len() > 8 {
+		t.Fatalf("len = %d exceeds cap 8", s.Len())
+	}
+	if s.Seen() != 1000 {
+		t.Errorf("seen = %d", s.Seen())
+	}
+	// The retained set is a pure function of the observed sequence.
+	s2 := &Series{MaxPoints: 8}
+	for i := 0; i < 1000; i++ {
+		s2.Observe(sim.Time(i), float64(i))
+	}
+	a, _ := json.Marshal(s)
+	b, _ := json.Marshal(s2)
+	if !bytes.Equal(a, b) {
+		t.Error("identical observation sequences produced different series")
+	}
+	// Points stay in time order and evenly strided.
+	pts := s.Points()
+	for i := 1; i < len(pts); i++ {
+		if pts[i].T <= pts[i-1].T {
+			t.Fatalf("points out of order at %d: %v", i, pts)
+		}
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Error("counter not reused")
+	}
+	if r.Gauge("g") != r.Gauge("g") {
+		t.Error("gauge not reused")
+	}
+	h := r.Histogram("h", []float64{1, 2})
+	if r.Histogram("h", nil) != h {
+		t.Error("histogram not reused")
+	}
+	if r.TimeSeries("s") != r.TimeSeries("s") {
+		t.Error("series not reused")
+	}
+}
+
+func TestSinkDeterministicJSON(t *testing.T) {
+	mk := func(order []string) []byte {
+		s := NewSink()
+		for _, label := range order {
+			rm := &RunMetrics{Seed: 1, Stations: map[string]*StationMetrics{}, Streams: map[string]*StreamMetrics{}}
+			s.Add(label, rm)
+		}
+		var b bytes.Buffer
+		if err := s.WriteJSON(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.Bytes()
+	}
+	a := mk([]string{"t1/A", "t1/B", "t2/A"})
+	b := mk([]string{"t2/A", "t1/B", "t1/A"})
+	if !bytes.Equal(a, b) {
+		t.Error("sink JSON depends on Add order")
+	}
+}

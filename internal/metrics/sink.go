@@ -1,0 +1,64 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Sink aggregates the RunMetrics of many runs into one JSON document, keyed
+// by a deterministic run label assigned at submission time (e.g.
+// "table2/MILD copy"). Labels are stated by the generator code, not by
+// completion order, and the JSON encoder sorts map keys, so the document is
+// byte-identical at any -jobs value. Add is safe for concurrent use.
+type Sink struct {
+	mu   sync.Mutex
+	runs map[string]*RunMetrics
+}
+
+// NewSink returns an empty sink.
+func NewSink() *Sink { return &Sink{runs: make(map[string]*RunMetrics)} }
+
+// Add stores one run's snapshot under its label.
+func (s *Sink) Add(label string, rm *RunMetrics) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.runs[label] = rm
+}
+
+// Len reports the number of stored runs.
+func (s *Sink) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.runs)
+}
+
+// Run returns the snapshot stored under label, or nil.
+func (s *Sink) Run(label string) *RunMetrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.runs[label]
+}
+
+// Labels returns the stored run labels (unsorted).
+func (s *Sink) Labels() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.runs))
+	for l := range s.runs {
+		out = append(out, l)
+	}
+	return out
+}
+
+// WriteJSON writes every stored run as one indented JSON document:
+// {"runs": {label: RunMetrics, ...}}.
+func (s *Sink) WriteJSON(w io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Runs map[string]*RunMetrics `json:"runs"`
+	}{Runs: s.runs})
+}

@@ -120,7 +120,7 @@ func New(seed int64) *Oracle {
 // before stations are added to the network.
 func (o *Oracle) Attach(n *core.Network) {
 	o.cfg = n.Cfg
-	n.SetMACObserver(func(st *core.Station) mac.Observer {
+	n.AddMACObserver(func(st *core.Station) mac.Observer {
 		return o.observerFor(st)
 	})
 }

@@ -1,0 +1,38 @@
+package sim
+
+import "testing"
+
+// TestFiredAndMaxQueued pins the engine cost counters the metrics snapshot
+// reports: Fired counts callbacks actually dispatched, MaxQueued is the
+// high-water mark of the pending-event heap.
+func TestFiredAndMaxQueued(t *testing.T) {
+	s := New(1)
+	if s.Fired() != 0 || s.MaxQueued() != 0 {
+		t.Fatalf("fresh simulator: fired=%d maxq=%d", s.Fired(), s.MaxQueued())
+	}
+	n := 0
+	for i := 1; i <= 5; i++ {
+		s.At(Time(i), func() { n++ })
+	}
+	if s.MaxQueued() != 5 {
+		t.Errorf("maxq = %d after 5 schedules, want 5", s.MaxQueued())
+	}
+	s.Run(Time(10))
+	if n != 5 {
+		t.Fatalf("ran %d callbacks", n)
+	}
+	if s.Fired() != 5 {
+		t.Errorf("fired = %d, want 5", s.Fired())
+	}
+	if s.MaxQueued() != 5 {
+		t.Errorf("maxq = %d after run, want 5 (high-water, not current)", s.MaxQueued())
+	}
+	// A cancelled event still counts toward the high-water mark but must not
+	// count as fired.
+	ev := s.At(Time(20), func() { n++ })
+	ev.Cancel()
+	s.Run(Time(30))
+	if s.Fired() != 5 {
+		t.Errorf("fired = %d after cancelled event, want 5", s.Fired())
+	}
+}

@@ -162,6 +162,9 @@ func (s *Simulator) heapPush(e *event) {
 	h[i] = e
 	e.index = i
 	s.queue = h
+	if len(h) > s.maxQueue {
+		s.maxQueue = len(h)
+	}
 }
 
 // siftDown restores the heap property below i, assuming s.queue[i] is the
@@ -220,6 +223,8 @@ type Simulator struct {
 	stopped    bool
 	free       []*event // recycled event records
 	ncancelled int      // cancelled events still sitting in the queue
+	nfired     uint64   // events fired by Step over the simulator's lifetime
+	maxQueue   int      // high-water mark of the event queue length
 }
 
 // New returns a Simulator whose randomness derives from seed.
@@ -336,6 +341,14 @@ func (s *Simulator) Stop() { s.stopped = true }
 // events that have not yet been discarded).
 func (s *Simulator) Pending() int { return len(s.queue) }
 
+// Fired reports how many events Step has executed since the simulator was
+// created — the engine-level cost counter the metrics exporter snapshots.
+func (s *Simulator) Fired() uint64 { return s.nfired }
+
+// MaxQueued reports the event queue's high-water mark (including cancelled
+// events awaiting purge).
+func (s *Simulator) MaxQueued() int { return s.maxQueue }
+
 // NextEventTime reports the firing time of the earliest live (uncancelled)
 // pending event. ok is false when nothing is scheduled — the introspection a
 // liveness watchdog needs to tell "quiet until t" from "wedged forever".
@@ -398,6 +411,7 @@ func (s *Simulator) Step() bool {
 	}
 	e := s.heapPop()
 	s.now = e.when
+	s.nfired++
 	fn, callFn, a, b := e.fn, e.callFn, e.argA, e.argB
 	s.recycle(e)
 	if fn != nil {

@@ -1,0 +1,177 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"macaw/internal/core"
+	"macaw/internal/frame"
+	"macaw/internal/mac"
+	"macaw/internal/sim"
+)
+
+// EncodeJSONL writes events as JSON Lines: one compact object per line, in
+// order — the streaming-friendly format cmd/macawtrace summarizes.
+func EncodeJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range events {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodeJSONL reads a JSON Lines stream back into events. Blank lines are
+// skipped; a malformed line fails with its line number.
+func DecodeJSONL(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(b, &e); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// WriteJSONL writes the recorded events as JSON Lines.
+func (r *Recorder) WriteJSONL(w io.Writer) error { return EncodeJSONL(w, r.events) }
+
+// MACObserver returns a mac.Observer recording this station's MAC-internal
+// events — transmissions (with backoff headers), receptions, typed FSM
+// transitions, timer operations, queue operations, retries, drops, and
+// deliveries — into the recorder. Its signature matches
+// core.MACObserverFactory, so it plugs into Network.AddMACObserver directly.
+// The bridge is passive: it only appends to the recorder.
+func (r *Recorder) MACObserver(st *core.Station) mac.Observer {
+	return &macBridge{rec: r, name: st.Name()}
+}
+
+// macBridge adapts the mac.Observer hooks onto Recorder events.
+type macBridge struct {
+	rec  *Recorder
+	name string
+}
+
+func (b *macBridge) ObserveTx(f *frame.Frame) {
+	b.rec.Record(Event{At: b.rec.s.Now(), Station: b.name, Kind: Transmit,
+		Type: f.Type, Src: f.Src, Dst: f.Dst, Seq: f.Seq, Backoff: f.LocalBackoff})
+}
+
+func (b *macBridge) ObserveRx(f *frame.Frame) {
+	if b.rec.OmitBridgeRx {
+		return
+	}
+	b.rec.Record(Event{At: b.rec.s.Now(), Station: b.name, Kind: Receive,
+		Type: f.Type, Src: f.Src, Dst: f.Dst, Seq: f.Seq})
+}
+
+func (b *macBridge) ObserveState(from, to string) {
+	b.rec.Record(Event{At: b.rec.s.Now(), Station: b.name, Kind: State, From: from, To: to})
+}
+
+func (b *macBridge) ObserveTimer(at sim.Time) {
+	e := Event{At: b.rec.s.Now(), Station: b.name, Kind: Timer, Op: "arm", Deadline: at}
+	if at < 0 {
+		e.Op, e.Deadline = "cancel", 0
+	}
+	b.rec.Record(e)
+}
+
+func (b *macBridge) ObserveQueue(op string, dst frame.NodeID, n int) {
+	b.rec.Record(Event{At: b.rec.s.Now(), Station: b.name, Kind: Queue, Op: op, Dst: dst, QLen: n})
+}
+
+func (b *macBridge) ObserveDeliver(f *frame.Frame) {
+	b.rec.Record(Event{At: b.rec.s.Now(), Station: b.name, Kind: Deliver,
+		Type: f.Type, Src: f.Src, Dst: f.Dst, Seq: f.Seq})
+}
+
+func (b *macBridge) ObserveRetry(dst frame.NodeID) {
+	b.rec.Record(Event{At: b.rec.s.Now(), Station: b.name, Kind: Retry, Dst: dst})
+}
+
+func (b *macBridge) ObserveDrop(dst frame.NodeID, reason mac.DropReason) {
+	b.rec.Record(Event{At: b.rec.s.Now(), Station: b.name, Kind: Drop, Dst: dst, Note: string(reason)})
+}
+
+// JSONLSink aggregates the traces of many runs into one JSON Lines stream.
+// Runs add their recorded events under a deterministic label; the writer
+// orders runs by label and stamps each event's Run field, so the output is
+// byte-identical regardless of the completion order a parallel runner
+// produced. Add is safe for concurrent use.
+type JSONLSink struct {
+	mu      sync.Mutex
+	runs    map[string][]Event
+	dropped int
+}
+
+// NewJSONLSink returns an empty sink.
+func NewJSONLSink() *JSONLSink { return &JSONLSink{runs: make(map[string][]Event)} }
+
+// Add stores one run's events under the given label. Events from repeated
+// labels are appended in call order (labels are expected to be unique).
+func (s *JSONLSink) Add(run string, events []Event, dropped int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.runs[run] = append(s.runs[run], events...)
+	s.dropped += dropped
+}
+
+// Len reports the total number of stored events.
+func (s *JSONLSink) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, ev := range s.runs {
+		n += len(ev)
+	}
+	return n
+}
+
+// Dropped reports how many events the per-run caps discarded.
+func (s *JSONLSink) Dropped() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// WriteJSONL writes every stored run, sorted by run label, as JSON Lines.
+func (s *JSONLSink) WriteJSONL(w io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	labels := make([]string, 0, len(s.runs))
+	for l := range s.runs {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, l := range labels {
+		for _, e := range s.runs[l] {
+			e.Run = l
+			if err := enc.Encode(e); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

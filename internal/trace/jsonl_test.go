@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"macaw/internal/frame"
+	"macaw/internal/sim"
+)
+
+func sampleEvents() []Event {
+	return []Event{
+		{At: sim.FromSeconds(0.1), Station: "P1", Kind: Transmit, Type: frame.RTS, Src: 1, Dst: 2, Seq: 7, Backoff: 4},
+		{At: sim.FromSeconds(0.2), Station: "P1", Kind: State, From: "IDLE", To: "CONTEND"},
+		{At: sim.FromSeconds(0.3), Station: "B", Kind: Timer, Op: "arm", Deadline: sim.FromSeconds(0.5)},
+		{At: sim.FromSeconds(0.4), Station: "B", Kind: Queue, Op: "push", Dst: 2, QLen: 3},
+		{At: sim.FromSeconds(0.5), Station: "B", Kind: Retry, Dst: 2},
+		{At: sim.FromSeconds(0.6), Station: "B", Kind: Drop, Dst: 2, Note: "retry limit"},
+		{At: sim.FromSeconds(0.7), Station: "B", Kind: Deliver, Type: frame.DATA, Src: 1, Dst: 2, Seq: 7},
+	}
+}
+
+// TestJSONLRoundTrip pins that every typed field survives encode/decode.
+func TestJSONLRoundTrip(t *testing.T) {
+	in := sampleEvents()
+	var b bytes.Buffer
+	if err := EncodeJSONL(&b, in); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(b.String(), "\n"); got != len(in) {
+		t.Fatalf("%d lines, want %d", got, len(in))
+	}
+	out, err := DecodeJSONL(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip mismatch:\n in=%v\nout=%v", in, out)
+	}
+}
+
+func TestDecodeJSONLBadLine(t *testing.T) {
+	_, err := DecodeJSONL(strings.NewReader("{\"at\":1}\n\nnot json\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("err = %v, want line-numbered failure", err)
+	}
+}
+
+// TestRecorderMaxCap pins the bounded-recording contract: events beyond Max
+// are counted, not kept.
+func TestRecorderMaxCap(t *testing.T) {
+	s := sim.New(1)
+	r := NewRecorder(s)
+	r.Max = 3
+	for i := 0; i < 5; i++ {
+		r.Record(Event{At: s.Now(), Station: "X", Kind: Retry})
+	}
+	if len(r.Events()) != 3 {
+		t.Errorf("kept %d events, want 3", len(r.Events()))
+	}
+	if r.Dropped() != 2 {
+		t.Errorf("dropped = %d, want 2", r.Dropped())
+	}
+}
+
+// TestJSONLSinkOrdersByLabel pins that the multi-run stream is sorted by run
+// label and stamps each event's Run field, independent of Add order.
+func TestJSONLSinkOrdersByLabel(t *testing.T) {
+	mk := func(order []string) []byte {
+		s := NewJSONLSink()
+		for _, label := range order {
+			s.Add(label, sampleEvents(), 1)
+		}
+		var b bytes.Buffer
+		if err := s.WriteJSONL(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.Bytes()
+	}
+	a := mk([]string{"t2/B", "t1/A"})
+	b := mk([]string{"t1/A", "t2/B"})
+	if !bytes.Equal(a, b) {
+		t.Error("sink output depends on Add order")
+	}
+	s := NewJSONLSink()
+	s.Add("t1/A", sampleEvents(), 2)
+	if s.Dropped() != 2 {
+		t.Errorf("dropped = %d", s.Dropped())
+	}
+	var buf bytes.Buffer
+	if err := s.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := DecodeJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range evs {
+		if e.Run != "t1/A" {
+			t.Fatalf("event missing run stamp: %+v", e)
+		}
+	}
+}

@@ -36,9 +36,25 @@ const (
 	// arm, queue operation, delivery) recorded by a mac.Observer; the
 	// detail lives in Note.
 	Mark Kind = "mark"
+	// State is a typed FSM transition (From/To carry the state names).
+	State Kind = "state"
+	// Timer is a state-timer operation: Op "arm" with Deadline, or Op
+	// "cancel".
+	Timer Kind = "timer"
+	// Queue is a queue operation (Op "push"/"pop"/"drop" toward Dst, QLen
+	// the length after it).
+	Queue Kind = "queue"
+	// Retry is a failed attempt toward Dst being retried.
+	Retry Kind = "retry"
+	// Drop is a packet toward Dst being abandoned; Note carries the reason.
+	Drop Kind = "drop"
+	// Deliver is a DATA frame handed up to transport.
+	Deliver Kind = "deliver"
 )
 
-// Event is one recorded occurrence.
+// Event is one recorded occurrence. The typed fields beyond Note (From/To,
+// Op, QLen, Deadline, Backoff, Run) carry what Mark events used to fold into
+// free text, so JSONL consumers can filter and aggregate without parsing.
 type Event struct {
 	At      sim.Time     `json:"at"`
 	Station string       `json:"station"`
@@ -49,6 +65,22 @@ type Event struct {
 	Seq     uint32       `json:"seq,omitempty"`
 	Busy    bool         `json:"busy,omitempty"`
 	Note    string       `json:"note,omitempty"`
+	// From/To are the FSM state names of a State event.
+	From string `json:"from,omitempty"`
+	To   string `json:"to,omitempty"`
+	// Op is the operation of a Timer ("arm"/"cancel") or Queue
+	// ("push"/"pop"/"drop") event.
+	Op string `json:"op,omitempty"`
+	// QLen is the queue length after a Queue operation.
+	QLen int `json:"qlen,omitempty"`
+	// Deadline is the firing time a Timer arm targets.
+	Deadline sim.Time `json:"deadline,omitempty"`
+	// Backoff is the transmitted frame's local backoff header on a
+	// Transmit event (frame.IDontKnow when the sender did not stamp one).
+	Backoff int16 `json:"backoff,omitempty"`
+	// Run labels which simulation run the event belongs to in a multi-run
+	// JSONL stream (stamped by JSONLSink).
+	Run string `json:"run,omitempty"`
 }
 
 // String renders the event as one trace line.
@@ -62,6 +94,21 @@ func (e Event) String() string {
 		return fmt.Sprintf("%12.6f  %-4s tx   %s %v->%v seq=%d", e.At.Seconds(), e.Station, e.Type, e.Src, e.Dst, e.Seq)
 	case Mark:
 		return fmt.Sprintf("%12.6f  %-4s %s", e.At.Seconds(), e.Station, e.Note)
+	case State:
+		return fmt.Sprintf("%12.6f  %-4s %s -> %s", e.At.Seconds(), e.Station, e.From, e.To)
+	case Timer:
+		if e.Op == "cancel" {
+			return fmt.Sprintf("%12.6f  %-4s timer cancel", e.At.Seconds(), e.Station)
+		}
+		return fmt.Sprintf("%12.6f  %-4s timer arm @%.6f", e.At.Seconds(), e.Station, e.Deadline.Seconds())
+	case Queue:
+		return fmt.Sprintf("%12.6f  %-4s queue %s dst=%v len=%d", e.At.Seconds(), e.Station, e.Op, e.Dst, e.QLen)
+	case Retry:
+		return fmt.Sprintf("%12.6f  %-4s retry dst=%v", e.At.Seconds(), e.Station, e.Dst)
+	case Drop:
+		return fmt.Sprintf("%12.6f  %-4s drop dst=%v (%s)", e.At.Seconds(), e.Station, e.Dst, e.Note)
+	case Deliver:
+		return fmt.Sprintf("%12.6f  %-4s dlvr %s %v->%v seq=%d", e.At.Seconds(), e.Station, e.Type, e.Src, e.Dst, e.Seq)
 	default:
 		return fmt.Sprintf("%12.6f  %-4s rx   %s %v->%v seq=%d", e.At.Seconds(), e.Station, e.Type, e.Src, e.Dst, e.Seq)
 	}
@@ -82,6 +129,15 @@ type Recorder struct {
 	// as the conformance oracle's tests) that need the full stream rather
 	// than the recorded slice.
 	Tap func(Event)
+	// Max, when positive, bounds the recorded slice: events beyond it are
+	// counted in dropped instead of retained, so a long instrumented run
+	// cannot grow an unbounded trace. The Tap still sees everything.
+	Max int
+	// OmitBridgeRx suppresses Receive events from MAC-observer bridges
+	// (MACObserver); set it when the recorder is also attached as a radio
+	// wrapper (Attach/AttachAll), which records receptions already.
+	OmitBridgeRx bool
+	dropped      int
 }
 
 // NewRecorder returns a recorder bound to the simulator clock.
@@ -121,11 +177,18 @@ func (r *Recorder) WriteText(w io.Writer) error {
 	return nil
 }
 
-func (r *Recorder) record(e Event) {
+// Record appends e to the trace, honouring the Tap, the From/To window, and
+// the Max cap. It is the single entry point for both the radio wrappers and
+// the MAC-observer bridges.
+func (r *Recorder) Record(e Event) {
 	if r.Tap != nil {
 		r.Tap(e)
 	}
 	if r.s.Now() < r.From || (r.To > 0 && r.s.Now() >= r.To) {
+		return
+	}
+	if r.Max > 0 && len(r.events) >= r.Max {
+		r.dropped++
 		return
 	}
 	r.events = append(r.events, e)
@@ -133,6 +196,9 @@ func (r *Recorder) record(e Event) {
 		fmt.Fprintln(r.Sink, e)
 	}
 }
+
+// Dropped reports how many in-window events the Max cap discarded.
+func (r *Recorder) Dropped() int { return r.dropped }
 
 // Attach interposes the recorder between a station's radio and its MAC. It
 // must be called after the station's protocol is constructed (the factory
@@ -157,20 +223,20 @@ type wrapper struct {
 }
 
 func (w *wrapper) RadioReceive(f *frame.Frame) {
-	w.rec.record(Event{At: w.rec.s.Now(), Station: w.name, Kind: Receive,
+	w.rec.Record(Event{At: w.rec.s.Now(), Station: w.name, Kind: Receive,
 		Type: f.Type, Src: f.Src, Dst: f.Dst, Seq: f.Seq})
 	w.inner.RadioReceive(f)
 }
 
 func (w *wrapper) RadioCarrier(busy bool) {
 	if w.rec.Carrier {
-		w.rec.record(Event{At: w.rec.s.Now(), Station: w.name, Kind: Carrier, Busy: busy})
+		w.rec.Record(Event{At: w.rec.s.Now(), Station: w.name, Kind: Carrier, Busy: busy})
 	}
 	w.inner.RadioCarrier(busy)
 }
 
 func (w *wrapper) RadioCorrupted(f *frame.Frame) {
-	w.rec.record(Event{At: w.rec.s.Now(), Station: w.name, Kind: Corrupt,
+	w.rec.Record(Event{At: w.rec.s.Now(), Station: w.name, Kind: Corrupt,
 		Type: f.Type, Src: f.Src, Dst: f.Dst, Seq: f.Seq})
 	if obs, ok := w.inner.(phy.CorruptionObserver); ok {
 		obs.RadioCorrupted(f)

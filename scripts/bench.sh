@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# bench.sh — snapshot the performance trajectory into BENCH_PR3.json.
+# bench.sh — snapshot the performance trajectory into a JSON file.
 #
 # Emits, for every paper table, the benchmark's ns/op (simulator speed) and
 # pps (protocol behaviour — must not move at a fixed seed), wall-clock
@@ -9,11 +9,16 @@
 # simulate the identical event sequence, so pps must match exactly and the
 # ns/op ratio is pure per-event cost).
 #
-# Usage: scripts/bench.sh [output.json]   (default BENCH_PR3.json)
+# Usage: scripts/bench.sh [output.json] [raw-bench.txt]
+#
+# output.json defaults to bench.json. If raw-bench.txt is given, the raw
+# `go test -bench` output of the per-table pass is also copied there, in the
+# text format benchstat and scripts/perfgate.sh consume.
 set -eu
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR3.json}"
+out="${1:-bench.json}"
+raw="${2:-}"
 benchtime="${BENCHTIME:-5x}"
 scale_benchtime="${SCALE_BENCHTIME:-1x}"
 tmp="$(mktemp -d)"
@@ -87,4 +92,8 @@ END {
     printf "  }\n}\n"
 }' "$tmp/bench.txt" "$tmp/scale.txt" "$tmp/jobs.txt" > "$out"
 
+if [ -n "$raw" ]; then
+    cp "$tmp/bench.txt" "$raw"
+    echo "wrote $raw" >&2
+fi
 echo "wrote $out" >&2

@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# golden.sh — byte-exact regression gate on macawsim's canonical outputs.
+#
+# The simulator's determinism contract says every run is a pure function of
+# (config, seed): same tables, same chaos report, same CSV, at any -jobs
+# value, with or without the passive observers (-audit, -metrics,
+# -tracejson). The golden files under testdata/golden/ pin those bytes; any
+# diff is either a deliberate behaviour change (regenerate with `gen`) or a
+# determinism/passivity regression (fix it).
+#
+# Usage:
+#   scripts/golden.sh gen      regenerate testdata/golden/ from the current tree
+#   scripts/golden.sh check    regenerate into a temp dir and diff against golden
+#
+# check also verifies that -jobs 4 and a fully instrumented run (-audit
+# -metrics -tracejson) reproduce the same table bytes, and that the metrics
+# and trace documents themselves are identical across -jobs values.
+set -eu
+cd "$(dirname "$0")/.."
+
+golden="testdata/golden"
+TABLES_ARGS="-total 12 -warmup 2 -seed 1"
+CHAOS_ARGS="-chaos -total 8 -warmup 2 -seed 1"
+CSV_ARGS="-table table2 -format csv -total 12 -warmup 2 -seed 1"
+
+gen() {
+    local dir="$1" sim="$2"
+    mkdir -p "$dir"
+    "$sim" $TABLES_ARGS > "$dir/tables.txt"
+    "$sim" $CHAOS_ARGS > "$dir/chaos.txt"
+    "$sim" $CSV_ARGS > "$dir/table2.csv"
+}
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+go build -o "$tmp/macawsim" ./cmd/macawsim
+
+case "${1:-}" in
+gen)
+    gen "$golden" "$tmp/macawsim"
+    echo "regenerated $golden/"
+    ;;
+check)
+    gen "$tmp/fresh" "$tmp/macawsim"
+    for f in tables.txt chaos.txt table2.csv; do
+        diff -u "$golden/$f" "$tmp/fresh/$f" ||
+            { echo "FATAL: $f drifted from golden output" >&2; exit 1; }
+    done
+
+    # Parallelism must not change a byte.
+    "$tmp/macawsim" $TABLES_ARGS -jobs 4 > "$tmp/tables.jobs4.txt"
+    diff -u "$golden/tables.txt" "$tmp/tables.jobs4.txt" ||
+        { echo "FATAL: -jobs 4 output differs from golden" >&2; exit 1; }
+
+    # Passive observers must not change a byte, and their own documents must
+    # be identical at any parallelism.
+    "$tmp/macawsim" $TABLES_ARGS -audit -metrics "$tmp/m1.json" -tracejson "$tmp/t1.jsonl" > "$tmp/tables.instr1.txt"
+    "$tmp/macawsim" $TABLES_ARGS -audit -metrics "$tmp/m4.json" -tracejson "$tmp/t4.jsonl" -jobs 4 > "$tmp/tables.instr4.txt"
+    for f in tables.instr1.txt tables.instr4.txt; do
+        diff -u "$golden/tables.txt" "$tmp/$f" ||
+            { echo "FATAL: instrumented output ($f) differs from golden" >&2; exit 1; }
+    done
+    cmp "$tmp/m1.json" "$tmp/m4.json" ||
+        { echo "FATAL: -metrics JSON differs between -jobs 1 and 4" >&2; exit 1; }
+    cmp "$tmp/t1.jsonl" "$tmp/t4.jsonl" ||
+        { echo "FATAL: -tracejson JSONL differs between -jobs 1 and 4" >&2; exit 1; }
+
+    # The metrics document must be valid JSON; the trace must summarize.
+    if command -v python3 >/dev/null 2>&1; then
+        python3 -c 'import json,sys; json.load(open(sys.argv[1]))' "$tmp/m1.json" ||
+            { echo "FATAL: -metrics output is not valid JSON" >&2; exit 1; }
+    fi
+    go build -o "$tmp/macawtrace" ./cmd/macawtrace
+    "$tmp/macawtrace" -summarize "$tmp/t1.jsonl" > /dev/null ||
+        { echo "FATAL: macawtrace -summarize failed on -tracejson output" >&2; exit 1; }
+
+    echo "golden outputs verified (serial, -jobs 4, instrumented)"
+    ;;
+*)
+    echo "usage: scripts/golden.sh gen|check" >&2
+    exit 2
+    ;;
+esac

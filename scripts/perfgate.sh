@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# perfgate.sh — fail on large per-benchmark regressions.
+#
+# Compares two `go test -bench` text outputs benchmark-by-benchmark and
+# fails if any ns/op grew by more than FACTOR (default 2.0 — generous enough
+# to absorb runner noise, tight enough to catch an accidental O(n^2) or a
+# hot-path allocation). Benchmarks present in only one file are reported but
+# not fatal, so adding or retiring a benchmark does not break the gate.
+#
+# Usage: scripts/perfgate.sh baseline.txt current.txt [factor]
+#        PERFGATE_FACTOR=3 scripts/perfgate.sh baseline.txt current.txt
+set -eu
+
+if [ $# -lt 2 ]; then
+    echo "usage: scripts/perfgate.sh baseline.txt current.txt [factor]" >&2
+    exit 2
+fi
+base="$1"
+cur="$2"
+factor="${3:-${PERFGATE_FACTOR:-2.0}}"
+
+awk -v factor="$factor" '
+# go bench text lines: BenchmarkName-8  iters  ns/op  [extra metrics...]
+FNR == NR && $1 ~ /^Benchmark/ && $4 == "ns/op" {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    base[name] = $3
+    next
+}
+FNR != NR && $1 ~ /^Benchmark/ && $4 == "ns/op" {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    cur[name] = $3
+}
+END {
+    bad = 0
+    for (name in cur) {
+        if (!(name in base)) {
+            printf "perfgate: %s has no baseline (new benchmark?)\n", name
+            continue
+        }
+        ratio = cur[name] / base[name]
+        verdict = (ratio > factor) ? "FAIL" : "ok"
+        printf "perfgate: %-28s %12.0f -> %12.0f ns/op  (%.2fx) %s\n",
+            name, base[name], cur[name], ratio, verdict
+        if (ratio > factor) bad++
+    }
+    for (name in base)
+        if (!(name in cur))
+            printf "perfgate: %s disappeared from current run\n", name
+    if (bad > 0) {
+        printf "perfgate: %d benchmark(s) regressed beyond %.2fx\n", bad, factor
+        exit 1
+    }
+    printf "perfgate: all benchmarks within %.2fx of baseline\n", factor
+}' "$base" "$cur"
