@@ -1,6 +1,7 @@
 package macaw_test
 
 import (
+	"fmt"
 	"runtime"
 	"testing"
 
@@ -221,6 +222,62 @@ func BenchmarkScaleN50(b *testing.B)   { benchScale(b, 50) }
 func BenchmarkScaleN200(b *testing.B)  { benchScale(b, 200) }
 func BenchmarkScaleN500(b *testing.B)  { benchScale(b, 500) }
 func BenchmarkScaleN1000(b *testing.B) { benchScale(b, 1000) }
+
+// cityBlueprint builds the 10k-station city benchmark topology: default
+// physics (60 dB floor, certified cutoff ≈ 102 ft) over a 12000 ft side —
+// city blocks of clustered nanocells rather than one packed building — so
+// the topology decomposes into ~1250 causally independent radio components
+// the sharded engine can run in parallel.
+func cityBlueprint(b *testing.B, stations int) core.Blueprint {
+	b.Helper()
+	l := topo.Random(topo.RandomSpec{N: stations, Seed: 42, Clustered: true, AreaFt: 12000})
+	bp, err := l.Blueprint(core.MACAWFactory(macaw.DefaultOptions()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return bp
+}
+
+// BenchmarkScaleN10000 measures the sharded engine at the ROADMAP's
+// city-scale regime: 10000 stations, serial vs 2/4/8 shards. Every mode
+// simulates the identical event history (the sharded engine is bit-exact),
+// so ns/op ratios are pure parallel speedup; the pps metric must agree
+// across modes — the benchmark fails if it does not.
+func BenchmarkScaleN10000(b *testing.B) {
+	const stations = 10000
+	const total, warmup = 2 * sim.Second, 500 * sim.Millisecond
+	serialPPS := map[int64]float64{} // seed -> serial result, cross-checked by the sharded modes
+	for _, shards := range []int{1, 2, 4, 8} {
+		shards := shards
+		name := "serial"
+		if shards > 1 {
+			name = fmt.Sprintf("shards%d", shards)
+		}
+		b.Run(name, func(b *testing.B) {
+			var pps float64
+			var comps int
+			for i := 0; i < b.N; i++ {
+				seed := int64(i + 1)
+				bp := cityBlueprint(b, stations)
+				bp.Seed = seed
+				res, info, err := bp.Run(total, warmup, shards)
+				if err != nil {
+					b.Fatal(err)
+				}
+				pps = res.TotalPPS()
+				comps = info.Components
+				if shards == 1 {
+					serialPPS[seed] = pps
+				} else if want, ok := serialPPS[seed]; ok && pps != want {
+					b.Fatalf("shards=%d seed=%d pps %.6f != serial pps %.6f: determinism broken",
+						shards, seed, pps, want)
+				}
+			}
+			b.ReportMetric(pps, "pps")
+			b.ReportMetric(float64(comps), "components")
+		})
+	}
+}
 
 // BenchmarkSimulatorEventRate measures raw simulator throughput: simulated
 // exchanges per wall-clock second on a saturated single cell.

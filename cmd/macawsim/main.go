@@ -3,13 +3,20 @@
 // Usage:
 //
 //	macawsim [-table table1..table11|all] [-chaos] [-audit] [-total SECONDS] [-warmup SECONDS] [-seed N] [-paper]
-//	         [-jobs N] [-metrics FILE] [-tracejson FILE] [-cpuprofile FILE] [-memprofile FILE]
+//	         [-jobs N] [-shards N] [-metrics FILE] [-tracejson FILE] [-cpuprofile FILE] [-memprofile FILE]
 //
 // Each table prints the paper's reported packets-per-second next to this
 // reproduction's measurements. -paper selects the paper's 500 s run length;
 // the default is a faster 120 s run that exhibits the same shapes. -jobs N
-// runs the independent simulations on N workers; every run is seeded before
-// dispatch, so the output is byte-identical to the serial (-jobs 1) path.
+// runs the independent simulations on N workers (capped at the core count);
+// every run is seeded before dispatch, so the output is byte-identical to
+// the serial (-jobs 1) path. -shards N parallelizes *within* each eligible
+// simulation: the building's causally independent radio components — proved
+// disconnected by the medium's negligibility-range certificate — execute on
+// separate event heaps across up to N goroutines and merge canonically, so
+// output is byte-identical to -shards 1. Runs the sharded engine cannot
+// reproduce exactly (scenario mods, -metrics, -tracejson) stay serial
+// automatically.
 // -chaos replaces the table set with the robustness table: MACA vs MACAW
 // under injected faults (burst loss, asymmetric links, crash/restart,
 // mobility), each run swept by the FSM liveness watchdog.
@@ -48,6 +55,7 @@ func main() {
 	paper := flag.Bool("paper", false, "use the paper's 500s/50s run length")
 	format := flag.String("format", "text", "output format: text or csv")
 	jobs := flag.Int("jobs", 1, "number of simulations to run concurrently (output is identical for any value)")
+	shards := flag.Int("shards", 1, "max parallel event heaps per simulation: spatially independent radio components run concurrently (output is identical for any value)")
 	chaos := flag.Bool("chaos", false, "emit the fault-injection robustness table instead of the paper tables")
 	auditFlag := flag.Bool("audit", false, "check every run against the paper's protocol rules; violations abort with a replayable report")
 	metricsOut := flag.String("metrics", "", "write per-station/per-stream metrics for every run as JSON to this file")
@@ -98,6 +106,7 @@ func main() {
 	}
 	cfg.Seed = *seed
 	cfg.Audit = *auditFlag
+	cfg.Shards = *shards
 	if *metricsOut != "" {
 		cfg.Metrics = metrics.NewSink()
 	}

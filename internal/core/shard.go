@@ -1,0 +1,342 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"macaw/internal/frame"
+	"macaw/internal/geom"
+	"macaw/internal/phy"
+	"macaw/internal/sim"
+)
+
+// This file implements the spatially-sharded parallel runner. The paper's
+// north-star regime — city-scale buildings of nanocells — produces radio
+// topologies that fall apart into many components under the medium's
+// negligibility certificate (phy.Params.IndexCutoff): two stations farther
+// apart than the cutoff have a stored gain of exactly 0.0, in both
+// directions, for the entire run. Such components are causally disconnected
+// at the physical layer — no carrier, no capture, no reception crosses the
+// gap — so their event histories commute exactly and can execute on
+// separate event heaps in separate goroutines.
+//
+// The determinism contract is bit-identity, not statistical equivalence:
+// Results at any shard count are byte-for-byte the serial engine's. Three
+// mechanisms carry the proof:
+//
+//  1. Gain exactness. Cross-component gain terms are stored as exact zeros
+//     (the PR 3 floor), so every float fold (carrier power, interference
+//     sums) in a component network equals the monolithic fold restricted to
+//     the component — adding exact zeros is the identity.
+//  2. Event-order restriction. The simulator orders events by (time,
+//     priority, seq). Within one component all scheduling is triggered by
+//     the component's own events, so the relative order of its events in
+//     the monolithic run equals their order in the component-local run.
+//  3. Stream and id injection. Every random generator and identifier the
+//     monolithic run would hand out is reproduced exactly: station i
+//     (0-based) draws simulator stream i+2, traffic stream j draws
+//     S+2+j (S = total stations), node ids and stream ids are the global
+//     ones. sim.SetNextStream and in-package counter injection position
+//     each component network to deal the identical values.
+//
+// Mergeability follows: per-stream results are placed back by global stream
+// index, medium counters are integer sums over disjoint event sets, and the
+// observers the runner supports (the conformance oracle) are per-station
+// and passive. Observers whose output depends on global event interleaving
+// (trace emission order, the metrics high-water queue depth) are not
+// mergeable; callers keep those runs on the monolithic path.
+
+// BlueprintStation declares one station of a Blueprint.
+type BlueprintStation struct {
+	Name    string
+	Pos     geom.Vec3
+	Factory MACFactory
+}
+
+// BlueprintStream declares one unidirectional stream between stations
+// identified by index into Blueprint.Stations.
+type BlueprintStream struct {
+	From, To int
+	Kind     TransportKind
+	Rate     float64
+	Start    sim.Duration
+}
+
+// Blueprint is a declarative description of a network — the complete input
+// the sharded runner needs to rebuild any subset of the building with
+// bit-identical identities and random streams. Construction order is the
+// canonical one (all stations in index order, then all streams in index
+// order), matching what topo.Layout.Build produces on a monolithic network.
+//
+// Factories are invoked from shard goroutines when shards > 1, so they must
+// be safe for concurrent use (every factory in this package is: each call
+// builds fresh per-station state). Factories must draw randomness only from
+// the prepared mac.Env, never from the simulator directly — an extra
+// simulator stream would shift the global stream accounting the injection
+// reproduces.
+type Blueprint struct {
+	Seed     int64
+	Stations []BlueprintStation
+	Streams  []BlueprintStream
+
+	// Instrument, when non-nil, attaches passive observers to each network
+	// the runner materializes (one per component when sharded, one total
+	// when serial). It runs before any station is added; the returned
+	// finish hook (may be nil) runs after that network's Run completes.
+	// When shards > 1 both the hook and its finish run on shard
+	// goroutines, concurrently with other components' hooks — shared
+	// state inside them must be synchronized. Only per-station,
+	// interleaving-independent observers (the conformance oracle) keep
+	// the bit-identity contract.
+	Instrument func(*Network) func()
+
+	// Verify, when non-nil, checks each materialized network after
+	// construction (e.g. topo hearing relations). It must tolerate
+	// networks holding only a subset of the stations: when sharded, each
+	// component network contains just its own stations.
+	Verify func(*Network) error
+}
+
+// ShardInfo reports how a Blueprint.Run executed.
+type ShardInfo struct {
+	// Cutoff is the certified interaction radius in feet (0 when no
+	// certificate exists).
+	Cutoff float64
+	// Components is the number of causally independent radio components.
+	Components int
+	// Workers is the number of goroutines the run used (1 = serial path).
+	Workers int
+}
+
+// Partition labels each station with its causal-component index and reports
+// the certified cutoff. Two stations share a component iff they are linked
+// by a chain of station-to-station hops of at most the cutoff, with stream
+// endpoints additionally folded together (a stream couples its stations
+// through the transport layer even if their radios were out of range). ok
+// is false when the physics cannot certify a cutoff — then everything must
+// be assumed coupled and the labels are all zero.
+func (bp Blueprint) Partition() (labels []int, count int, cutoff float64, ok bool) {
+	n := len(bp.Stations)
+	labels = make([]int, n)
+	if n == 0 {
+		return labels, 0, 0, false
+	}
+	cutoff, ok = phy.DefaultParams().IndexCutoff()
+	if !ok {
+		return labels, 1, 0, false
+	}
+	pts := make([]geom.Vec3, n)
+	for i, s := range bp.Stations {
+		pts[i] = s.Pos
+	}
+	radio, _ := geom.Components(pts, cutoff)
+
+	// Fold radio components and stream-endpoint couplings in one
+	// union-find, then renormalize to first-occurrence labels so the
+	// partition is a pure function of the blueprint.
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	firstOf := make(map[int]int)
+	for i, l := range radio {
+		if f, seen := firstOf[l]; seen {
+			union(i, f)
+		} else {
+			firstOf[l] = i
+		}
+	}
+	for _, s := range bp.Streams {
+		union(s.From, s.To)
+	}
+	rep := make(map[int]int)
+	for i := range labels {
+		r := find(i)
+		l, seen := rep[r]
+		if !seen {
+			l = len(rep)
+			rep[r] = l
+		}
+		labels[i] = l
+	}
+	return labels, len(rep), cutoff, true
+}
+
+// materialize builds a network holding the given station and stream subsets
+// (global indices, ascending). With inject set, every identity the
+// monolithic run would assign — node id, stream id, simulator random
+// stream — is positioned explicitly before each entity is added, so the
+// subset network deals out exactly the values the full building would.
+func (bp Blueprint) materialize(stIdx, strIdx []int, inject bool) (*Network, func(), error) {
+	n := NewNetwork(bp.Seed)
+	var finish func()
+	if bp.Instrument != nil {
+		finish = bp.Instrument(n)
+	}
+	total := int64(len(bp.Stations))
+	local := make(map[int]*Station, len(stIdx))
+	for _, i := range stIdx {
+		spec := bp.Stations[i]
+		if inject {
+			n.nextID = frame.NodeID(i + 1)
+			// Station i's MAC environment is simulator stream i+2:
+			// stream 1 went to the medium at NewNetwork.
+			n.Sim.SetNextStream(int64(i) + 2)
+		}
+		local[i] = n.AddStation(spec.Name, spec.Pos, spec.Factory)
+	}
+	for _, j := range strIdx {
+		spec := bp.Streams[j]
+		from, to := local[spec.From], local[spec.To]
+		if from == nil || to == nil {
+			return nil, nil, fmt.Errorf("core: stream %d references a station outside its component", j)
+		}
+		if inject {
+			// AddStream pre-increments, so position one below the
+			// global stream id j+1. The CBR generator draws simulator
+			// stream S+2+j: the monolithic run hands out all S station
+			// streams first.
+			n.nextSID = uint16(j)
+			n.Sim.SetNextStream(total + 2 + int64(j))
+		}
+		st := n.AddStream(from, to, spec.Kind, spec.Rate)
+		st.SetStart(spec.Start)
+	}
+	if bp.Verify != nil {
+		if err := bp.Verify(n); err != nil {
+			return nil, nil, err
+		}
+	}
+	return n, finish, nil
+}
+
+// Run simulates the blueprint for total seconds (measuring from warmup) on
+// up to shards parallel event heaps and returns results byte-identical to
+// the serial engine's. shards <= 1, an uncertified physics, or a building
+// that is one connected component all fall back to the serial path — the
+// exact construction sequence a monolithic Build performs.
+func (bp Blueprint) Run(total, warmup sim.Duration, shards int) (Results, ShardInfo, error) {
+	labels, count, cutoff, certified := bp.Partition()
+	info := ShardInfo{Cutoff: cutoff, Components: count, Workers: 1}
+	if shards <= 1 || !certified || count <= 1 {
+		all := make([]int, len(bp.Stations))
+		for i := range all {
+			all[i] = i
+		}
+		allStreams := make([]int, len(bp.Streams))
+		for j := range allStreams {
+			allStreams[j] = j
+		}
+		n, finish, err := bp.materialize(all, allStreams, false)
+		if err != nil {
+			return Results{}, info, err
+		}
+		res := n.Run(total, warmup)
+		if finish != nil {
+			finish()
+		}
+		return res, info, nil
+	}
+
+	// Component membership, in ascending global index order.
+	comps := make([][]int, count)
+	for i, l := range labels {
+		comps[l] = append(comps[l], i)
+	}
+	compStreams := make([][]int, count)
+	for j, s := range bp.Streams {
+		compStreams[labels[s.From]] = append(compStreams[labels[s.From]], j)
+	}
+
+	// Each component is keyed to a shard by the grid cell of its first
+	// station at cell size = cutoff — a deterministic function of the
+	// blueprint alone. The assignment balances load across workers; it
+	// cannot affect output, which is merged by global index.
+	workers := shards
+	if count < workers {
+		workers = count
+	}
+	info.Workers = workers
+	groups := make([][]int, workers)
+	for c := range comps {
+		anchor := geom.CellOf(bp.Stations[comps[c][0]].Pos, cutoff)
+		s := geom.ShardOfCell(anchor, workers)
+		groups[s] = append(groups[s], c)
+	}
+
+	type compResult struct {
+		res Results
+		err error
+		pan any
+	}
+	out := make([]compResult, count)
+	var wg sync.WaitGroup
+	for _, list := range groups {
+		wg.Add(1)
+		go func(list []int) {
+			defer wg.Done()
+			for _, c := range list {
+				out[c] = func() (r compResult) {
+					defer func() {
+						if p := recover(); p != nil {
+							r.pan = p
+						}
+					}()
+					n, finish, err := bp.materialize(comps[c], compStreams[c], true)
+					if err != nil {
+						r.err = err
+						return
+					}
+					r.res = n.Run(total, warmup)
+					if finish != nil {
+						finish()
+					}
+					return
+				}()
+			}
+		}(list)
+	}
+	wg.Wait()
+
+	// Surface failures in component order so the report is deterministic.
+	for c := range out {
+		if out[c].pan != nil {
+			panic(out[c].pan)
+		}
+		if out[c].err != nil {
+			return Results{}, info, out[c].err
+		}
+	}
+
+	merged := Results{
+		Streams:  make([]StreamResult, len(bp.Streams)),
+		Duration: total,
+		Warmup:   warmup,
+	}
+	for c := range out {
+		for k, j := range compStreams[c] {
+			merged.Streams[j] = out[c].res.Streams[k]
+		}
+		m := out[c].res.Medium
+		merged.Medium.Transmissions += m.Transmissions
+		merged.Medium.Delivered += m.Delivered
+		merged.Medium.Corrupted += m.Corrupted
+		merged.Medium.NoiseDropped += m.NoiseDropped
+		merged.Medium.Aborted += m.Aborted
+	}
+	return merged, info, nil
+}

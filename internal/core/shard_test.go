@@ -1,0 +1,247 @@
+package core_test
+
+// Differential tests for the sharded runner's determinism contract: at any
+// shard count, Results — and their rendered table — must be byte-identical
+// to the serial engine's. The test topology is a miniature "city": several
+// well-separated clusters (each its own radio component under the default
+// 60 dB negligibility certificate, cutoff ≈ 102 ft) so the sharded path
+// genuinely exercises parallel component execution and canonical merging.
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"macaw/internal/core"
+	"macaw/internal/geom"
+	"macaw/internal/mac/macaw"
+	"macaw/internal/oracle"
+	"macaw/internal/sim"
+	"macaw/internal/topo"
+)
+
+// cityLayout builds nClusters single-cell clusters on a coarse grid with
+// 400 ft pitch — far beyond the certified cutoff — each holding one base
+// and three pads with upstream UDP streams. Stream declaration order
+// interleaves clusters, so the merge must reorder component results back
+// into global order to pass.
+func cityLayout(nClusters int) topo.Layout {
+	l := topo.Layout{Name: fmt.Sprintf("city-%d", nClusters)}
+	for c := 0; c < nClusters; c++ {
+		ox := float64(c%4) * 400
+		oy := float64(c/4) * 400
+		l.Stations = append(l.Stations, topo.StationSpec{
+			Name: fmt.Sprintf("B%d", c+1), Pos: geom.V(ox, oy, 12), Base: true,
+		})
+		for p := 0; p < 3; p++ {
+			ang := 2 * math.Pi * float64(p) / 3
+			l.Stations = append(l.Stations, topo.StationSpec{
+				Name: fmt.Sprintf("C%dP%d", c+1, p+1),
+				Pos:  geom.V(ox+5*math.Cos(ang), oy+5*math.Sin(ang), 6),
+			})
+		}
+	}
+	// Interleaved stream order: pad p of every cluster, then pad p+1, so
+	// consecutive global stream indices belong to different components.
+	for p := 0; p < 3; p++ {
+		for c := 0; c < nClusters; c++ {
+			l.Streams = append(l.Streams, topo.StreamSpec{
+				From: fmt.Sprintf("C%dP%d", c+1, p+1),
+				To:   fmt.Sprintf("B%d", c+1),
+				Kind: core.UDP, Rate: 24,
+				StartSec: 0.1 * float64(c+p),
+			})
+		}
+	}
+	// Pin some relations so the Verify hook exercises both the in-component
+	// check and the split-across-components skip.
+	for c := 0; c < nClusters; c++ {
+		l.Relations = append(l.Relations,
+			topo.Relation{A: fmt.Sprintf("C%dP1", c+1), B: fmt.Sprintf("B%d", c+1), Hears: true})
+		if c > 0 {
+			l.Relations = append(l.Relations,
+				topo.Relation{A: fmt.Sprintf("C%dP1", c+1), B: "B1", Hears: false})
+		}
+	}
+	return l
+}
+
+func cityBlueprint(t *testing.T, nClusters int, seed int64) core.Blueprint {
+	t.Helper()
+	bp, err := cityLayout(nClusters).Blueprint(core.MACAWFactory(macaw.Options{}))
+	if err != nil {
+		t.Fatalf("blueprint: %v", err)
+	}
+	bp.Seed = seed
+	return bp
+}
+
+// TestShardedRunBitIdentical is the acceptance-criteria differential test:
+// shards 1/2/3/4/8 all produce Results that are deeply equal — including
+// every float bit — and render to identical bytes.
+func TestShardedRunBitIdentical(t *testing.T) {
+	const total, warmup = 8 * sim.Second, 1 * sim.Second
+	bp := cityBlueprint(t, 6, 42)
+
+	serial, info, err := bp.Run(total, warmup, 1)
+	if err != nil {
+		t.Fatalf("serial run: %v", err)
+	}
+	if info.Workers != 1 {
+		t.Fatalf("serial run used %d workers", info.Workers)
+	}
+	if serial.TotalPPS() <= 0 {
+		t.Fatal("serial run delivered nothing; test topology is inert")
+	}
+	for _, shards := range []int{2, 3, 4, 8} {
+		got, gotInfo, err := bp.Run(total, warmup, shards)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if gotInfo.Components != 6 {
+			t.Fatalf("shards=%d: %d components, want 6", shards, gotInfo.Components)
+		}
+		if gotInfo.Workers < 2 {
+			t.Fatalf("shards=%d: ran with %d workers, parallel path not taken", shards, gotInfo.Workers)
+		}
+		if !reflect.DeepEqual(serial, got) {
+			t.Fatalf("shards=%d: results differ from serial\nserial:\n%v\nsharded:\n%v",
+				shards, serial, got)
+		}
+		if serial.String() != got.String() {
+			t.Fatalf("shards=%d: rendered tables differ", shards)
+		}
+	}
+}
+
+// TestShardedRunAuditedStaysIdentical attaches the conformance oracle via
+// the Instrument hook on every materialized network: auditing must neither
+// perturb results nor fire false violations on component networks.
+func TestShardedRunAuditedStaysIdentical(t *testing.T) {
+	const total, warmup = 6 * sim.Second, 1 * sim.Second
+	bare := cityBlueprint(t, 4, 7)
+	serial, _, err := bare.Run(total, warmup, 1)
+	if err != nil {
+		t.Fatalf("serial run: %v", err)
+	}
+
+	audited := cityBlueprint(t, 4, 7)
+	var finished atomic.Int32 // hooks run on shard goroutines
+	audited.Instrument = func(n *core.Network) func() {
+		o := oracle.New(audited.Seed)
+		o.Attach(n)
+		return func() {
+			finished.Add(1)
+			if err := o.Err(); err != nil {
+				t.Errorf("oracle violation on component network: %v", err)
+			}
+		}
+	}
+	got, info, err := audited.Run(total, warmup, 4)
+	if err != nil {
+		t.Fatalf("audited sharded run: %v", err)
+	}
+	if info.Components != 4 {
+		t.Fatalf("components = %d, want 4", info.Components)
+	}
+	if finished.Load() != 4 {
+		t.Fatalf("finish hook ran %d times, want once per component", finished.Load())
+	}
+	if !reflect.DeepEqual(serial, got) {
+		t.Fatalf("audited sharded results differ from bare serial\nserial:\n%v\naudited:\n%v",
+			serial, got)
+	}
+}
+
+// TestBlueprintSerialMatchesBuild pins that the shards=1 path is the
+// existing engine: building the same layout by hand on a monolithic
+// network yields deeply equal Results.
+func TestBlueprintSerialMatchesBuild(t *testing.T) {
+	const total, warmup = 6 * sim.Second, 1 * sim.Second
+	l := cityLayout(3)
+	f := core.MACAWFactory(macaw.Options{})
+
+	n := core.NewNetwork(11)
+	if err := l.Build(n, f); err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	want := n.Run(total, warmup)
+
+	bp, err := l.Blueprint(f)
+	if err != nil {
+		t.Fatalf("blueprint: %v", err)
+	}
+	bp.Seed = 11
+	got, _, err := bp.Run(total, warmup, 1)
+	if err != nil {
+		t.Fatalf("blueprint run: %v", err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("blueprint serial run differs from monolithic Build\nbuild:\n%v\nblueprint:\n%v",
+			want, got)
+	}
+}
+
+// TestPartitionTotalDeterministic checks the partition itself: a total
+// labeling, stable across calls, that separates far clusters and folds
+// stream endpoints into one component.
+func TestPartitionTotalDeterministic(t *testing.T) {
+	bp := cityBlueprint(t, 5, 1)
+	labels, count, cutoff, ok := bp.Partition()
+	if !ok {
+		t.Fatal("default physics must certify a cutoff")
+	}
+	if cutoff <= 0 {
+		t.Fatalf("cutoff = %v", cutoff)
+	}
+	if count != 5 {
+		t.Fatalf("count = %d, want 5 (one per cluster)", count)
+	}
+	if len(labels) != len(bp.Stations) {
+		t.Fatalf("%d labels for %d stations", len(labels), len(bp.Stations))
+	}
+	labels2, count2, _, _ := bp.Partition()
+	if count2 != count || !reflect.DeepEqual(labels, labels2) {
+		t.Fatal("partition is not deterministic across calls")
+	}
+	// 4 stations per cluster, declared cluster-by-cluster; labels are
+	// first-occurrence normalized, so station i belongs to component i/4.
+	for i, l := range labels {
+		if l != i/4 {
+			t.Fatalf("station %d labeled %d, want %d", i, l, i/4)
+		}
+	}
+	// A stream coupling two otherwise-disjoint clusters folds them.
+	coupled := bp
+	coupled.Streams = append([]core.BlueprintStream{}, bp.Streams...)
+	coupled.Streams = append(coupled.Streams, core.BlueprintStream{
+		From: 0, To: 4 * 4, Kind: core.UDP, Rate: 1,
+	})
+	_, countC, _, _ := coupled.Partition()
+	if countC != 4 {
+		t.Fatalf("stream-coupled partition has %d components, want 4", countC)
+	}
+}
+
+// TestShardedRunSeedSensitivity guards against the component networks
+// accidentally sharing or reusing random streams: different seeds must
+// produce different results through the sharded path (and identical seeds
+// identical results, which the bit-identity test already covers).
+func TestShardedRunSeedSensitivity(t *testing.T) {
+	const total, warmup = 6 * sim.Second, 1 * sim.Second
+	a := cityBlueprint(t, 4, 3)
+	b := cityBlueprint(t, 4, 4)
+	ra, _, err := a.Run(total, warmup, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, _, err := b.Run(total, warmup, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(ra, rb) {
+		t.Fatal("different seeds produced identical sharded results")
+	}
+}

@@ -46,6 +46,21 @@ type RunConfig struct {
 	// means DefaultTraceMax). Overflow is counted, not silently lost.
 	TraceMax int
 
+	// Shards, when > 1, executes eligible runs on the spatially-sharded
+	// parallel engine (core.Blueprint.Run): the building's causally
+	// independent radio components run on separate event heaps across up
+	// to Shards goroutines, with results merged back into canonical
+	// order. Output is byte-identical to the serial engine at any shard
+	// count. Runs that the sharded engine cannot reproduce exactly stay
+	// on the monolithic path automatically: runs with scenario mods
+	// (noise, mobility, power events — their hooks close over the
+	// monolithic network), and metrics- or trace-instrumented runs (their
+	// output depends on the global event interleaving: the queue
+	// high-water mark and trace emission order are properties of the one
+	// big heap). The audit oracle is per-station and passive, so audited
+	// runs shard fine.
+	Shards int
+
 	// runner, when set via WithRunner, executes the independent runs
 	// inside each generator on a worker pool instead of inline.
 	runner *Runner
@@ -208,6 +223,9 @@ func (t Table) MeasuredTotal(i int) float64 {
 // mobility, power events), and runs it. name labels the run in the metrics
 // and trace sinks.
 func runLayout(cfg RunConfig, name string, l topo.Layout, f core.MACFactory, mods ...func(*core.Network)) core.Results {
+	if res, ok := cfg.runSharded(l, f, len(mods) == 0); ok {
+		return res
+	}
 	n := core.NewNetwork(cfg.Seed)
 	finish := cfg.instrument(name, n)
 	if err := l.Build(n, f); err != nil {
@@ -219,6 +237,37 @@ func runLayout(cfg RunConfig, name string, l topo.Layout, f core.MACFactory, mod
 	res := n.Run(cfg.Total, cfg.Warmup)
 	finish(res)
 	return res
+}
+
+// runSharded dispatches an eligible run to the sharded engine. plain is
+// false when the run carries scenario mods, which pins it to the monolithic
+// path (see RunConfig.Shards); so do metrics and trace instrumentation. ok
+// is false when the monolithic path must run instead.
+func (cfg RunConfig) runSharded(l topo.Layout, f core.MACFactory, plain bool) (core.Results, bool) {
+	if cfg.Shards <= 1 || !plain || cfg.Metrics != nil || cfg.Trace != nil {
+		return core.Results{}, false
+	}
+	bp, err := l.Blueprint(f)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	bp.Seed = cfg.Seed
+	if cfg.Audit {
+		bp.Instrument = func(n *core.Network) func() {
+			o := oracle.New(cfg.Seed)
+			o.Attach(n)
+			return func() {
+				if err := o.Err(); err != nil {
+					panic(fmt.Sprintf("experiments: %v", err))
+				}
+			}
+		}
+	}
+	res, _, err := bp.Run(cfg.Total, cfg.Warmup, cfg.Shards)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	return res, true
 }
 
 // instrument attaches every configured passive observer (oracle, metrics

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"runtime"
 	"sync"
 
 	"macaw/internal/core"
@@ -21,13 +22,22 @@ type Runner struct {
 }
 
 // NewRunner returns a Runner executing at most jobs runs concurrently.
-// jobs < 1 is treated as 1.
+// jobs < 1 is treated as 1, and the effective count is capped at
+// runtime.NumCPU(): the runs are CPU-bound, so workers beyond the core
+// count only add scheduling and synchronization overhead — on a one-core
+// machine, enough to make "-jobs 4" slower than serial.
 func NewRunner(jobs int) *Runner {
 	if jobs < 1 {
 		jobs = 1
 	}
+	if n := runtime.NumCPU(); jobs > n {
+		jobs = n
+	}
 	return &Runner{sem: make(chan struct{}, jobs)}
 }
+
+// Jobs reports the runner's effective concurrency after capping.
+func (r *Runner) Jobs() int { return cap(r.sem) }
 
 // WithRunner returns a copy of cfg whose runs are dispatched through r. A
 // nil r keeps the serial path: runs execute inline at their submission
@@ -80,10 +90,20 @@ func (cfg RunConfig) goRun(name string, l topo.Layout, f core.MACFactory, mods .
 // Tables runs the generators — concurrently across and within tables — and
 // returns the finished tables in generator order. Seeds travel inside cfg,
 // fixed before any dispatch, so the output is byte-identical to calling
-// g.Run(cfg) serially for each generator.
+// g.Run(cfg) serially for each generator. When the runner's effective
+// concurrency is 1 (one core, or -jobs 1) the pool is skipped entirely:
+// generators execute inline, one after another, with zero goroutine or
+// channel overhead — a degenerate pool would serialize the same work
+// through futures and cost wall-clock for nothing.
 func (r *Runner) Tables(gens []Generator, cfg RunConfig) []Table {
-	cfg = cfg.WithRunner(r)
 	out := make([]Table, len(gens))
+	if r.Jobs() <= 1 {
+		for i, g := range gens {
+			out[i] = g.Run(cfg.ForTable(g.ID))
+		}
+		return out
+	}
+	cfg = cfg.WithRunner(r)
 	var wg sync.WaitGroup
 	for i, g := range gens {
 		wg.Add(1)

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestShardedTablesMatchSerial asserts the -shards contract at the
+// experiments layer: a sweep with Shards set renders byte-identically to
+// the plain serial sweep. The paper's figures all fit inside one radio
+// component, so these runs exercise the eligibility gates and the
+// blueprint serial fallback; the multi-component parallel merge is
+// covered by the differential tests in internal/core.
+func TestShardedTablesMatchSerial(t *testing.T) {
+	serial := renderAll(runSerial(detCfg()))
+	for _, shards := range []int{4, 8} {
+		cfg := detCfg()
+		cfg.Shards = shards
+		if got := renderAll(runSerial(cfg)); got != serial {
+			t.Fatalf("shards=%d sweep differs from serial:\n--- serial ---\n%s\n--- sharded ---\n%s",
+				shards, serial, got)
+		}
+	}
+}
+
+// TestShardedAuditedTableMatchesSerial checks that Audit+Shards combine:
+// the oracle rides the blueprint's Instrument hook and the rendered table
+// stays byte-identical to the bare serial run.
+func TestShardedAuditedTableMatchesSerial(t *testing.T) {
+	g, ok := ByID("table1")
+	if !ok {
+		t.Fatal("table1 generator missing")
+	}
+	serial := g.Run(detCfg()).Render()
+	cfg := detCfg()
+	cfg.Shards = 4
+	cfg.Audit = true
+	if got := g.Run(cfg).Render(); got != serial {
+		t.Fatalf("audited sharded table1 differs from serial:\n--- serial ---\n%s\n--- sharded ---\n%s",
+			serial, got)
+	}
+}
+
+// TestRunnerCapsJobsAtNumCPU pins the -jobs regression fix: the effective
+// worker count never exceeds the machine's cores, and a cap of 1 means the
+// pool is skipped (Tables runs generators inline).
+func TestRunnerCapsJobsAtNumCPU(t *testing.T) {
+	if got := NewRunner(0).Jobs(); got != 1 {
+		t.Fatalf("NewRunner(0).Jobs() = %d, want 1", got)
+	}
+	huge := NewRunner(1 << 20)
+	if huge.Jobs() > runtime.NumCPU() {
+		t.Fatalf("Jobs() = %d exceeds NumCPU = %d", huge.Jobs(), runtime.NumCPU())
+	}
+}

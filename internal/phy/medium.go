@@ -301,13 +301,8 @@ func (m *Medium) useIndex() bool { return m.indexed && !m.exhaustive }
 // structures. Called from New and SetPropagation.
 func (m *Medium) reindex() {
 	m.indexed, m.floor, m.cutoff, m.grid = false, 0, 0, nil
-	if m.params.NegligibleDB > 0 {
-		if b, ok := m.prop.(Bounded); ok {
-			floor := m.threshold * math.Pow(10, -m.params.NegligibleDB/10)
-			if d, ok := b.RangeFor(floor); ok && d > 0 && !math.IsInf(d, 1) {
-				m.indexed, m.floor, m.cutoff = true, floor, d
-			}
-		}
+	if floor, d, ok := indexCutoff(m.prop, m.params); ok {
+		m.indexed, m.floor, m.cutoff = true, floor, d
 	}
 	if m.indexed {
 		m.grid = geom.NewGrid(m.cutoff)

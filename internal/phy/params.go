@@ -143,6 +143,38 @@ func (c CubeQuantized) RangeFor(floor float64) (float64, bool) {
 	return d + 2*geom.MaxQuantizationError, true
 }
 
+// indexCutoff derives the negligibility floor and the certified cutoff
+// distance for a propagation model under params p — the single place the
+// medium's index certificate is computed, so every consumer (the medium's
+// reindex, the shard planner) sees bit-identical values. ok is false when
+// the floor is disabled or the model cannot certify a range for it.
+func indexCutoff(prop Propagation, p Params) (floor, cutoff float64, ok bool) {
+	if p.NegligibleDB <= 0 {
+		return 0, 0, false
+	}
+	b, isBounded := prop.(Bounded)
+	if !isBounded {
+		return 0, 0, false
+	}
+	floor = p.Threshold() * math.Pow(10, -p.NegligibleDB/10)
+	d, okRange := b.RangeFor(floor)
+	if !okRange || d <= 0 || math.IsInf(d, 1) {
+		return 0, 0, false
+	}
+	return floor, d, true
+}
+
+// IndexCutoff reports the certified interaction cutoff for p's own
+// propagation model (the one NewPropagation builds): two radios farther
+// apart than the cutoff have a stored gain of exactly zero, in both
+// directions, for the whole run. ok is false when no certificate exists —
+// NegligibleDB disabled or the model unbounded — in which case every radio
+// must be assumed audible everywhere and no spatial decomposition is sound.
+func (p Params) IndexCutoff() (cutoff float64, ok bool) {
+	_, d, ok := indexCutoff(NewPropagation(p), p)
+	return d, ok
+}
+
 // NewPropagation builds the propagation model implied by p.
 func NewPropagation(p Params) Propagation {
 	var m Propagation = NearField{Gamma: p.Gamma, MinDist: p.MinDist}

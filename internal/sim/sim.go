@@ -256,6 +256,20 @@ func (s *Simulator) NewRand() *rand.Rand {
 	return rand.New(rand.NewSource(int64(z)))
 }
 
+// SetNextStream positions the stream counter so the next NewRand call
+// produces stream number k (1-based; a fresh simulator's first NewRand is
+// stream 1). Shard runners use it to rebuild a subset of a larger
+// simulation with the exact generators the monolithic run would have handed
+// out: a component's stations draw the same streams they would draw in the
+// full building, so their random choices — and therefore their entire event
+// histories — are bit-identical. k must be at least 1.
+func (s *Simulator) SetNextStream(k int64) {
+	if k < 1 {
+		panic("sim: stream numbers start at 1")
+	}
+	s.streams = k - 1
+}
+
 // alloc takes an event record off the free list, or makes one.
 func (s *Simulator) alloc() *event {
 	if n := len(s.free); n > 0 {

@@ -3,17 +3,22 @@
 #
 # Emits, for every paper table, the benchmark's ns/op (simulator speed) and
 # pps (protocol behaviour — must not move at a fixed seed), wall-clock
-# times for `macawsim -jobs N` so the runner's scaling is on record, and the
+# times for `macawsim -jobs N` so the runner's scaling is on record, the
 # BenchmarkScaleN* sweep comparing the neighborhood-indexed medium against
 # the exhaustive all-radios paths on building-sized topologies (both modes
 # simulate the identical event sequence, so pps must match exactly and the
-# ns/op ratio is pure per-event cost).
+# ns/op ratio is pure per-event cost), and the BenchmarkScaleN10000
+# sharding sweep: the city-scale topology run serially and at 2/4/8 shards
+# on the component-parallel engine (bit-identical by construction — the
+# benchmark itself fails if pps moves — so the ns/op ratio is pure
+# sharded-engine speedup).
 #
 # Usage: scripts/bench.sh [output.json] [raw-bench.txt]
 #
 # output.json defaults to bench.json. If raw-bench.txt is given, the raw
-# `go test -bench` output of the per-table pass is also copied there, in the
-# text format benchstat and scripts/perfgate.sh consume.
+# `go test -bench` output of the per-table and sharding passes is also
+# copied there, in the text format benchstat and scripts/perfgate.sh
+# consume.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -21,6 +26,7 @@ out="${1:-bench.json}"
 raw="${2:-}"
 benchtime="${BENCHTIME:-5x}"
 scale_benchtime="${SCALE_BENCHTIME:-1x}"
+shard_benchtime="${SHARD_BENCHTIME:-1x}"
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 
@@ -29,8 +35,12 @@ go test -run '^$' -bench 'BenchmarkTable[0-9]+$|BenchmarkAllTables' \
     -benchtime "$benchtime" . | tee "$tmp/bench.txt" >&2
 
 echo "running scaling benchmarks (-benchtime $scale_benchtime)..." >&2
-go test -run '^$' -bench 'BenchmarkScaleN[0-9]+' -timeout 60m \
+go test -run '^$' -bench 'BenchmarkScaleN(50|200|500|1000)$' -timeout 60m \
     -benchtime "$scale_benchtime" . | tee "$tmp/scale.txt" >&2
+
+echo "running sharding benchmarks (-benchtime $shard_benchtime)..." >&2
+go test -run '^$' -bench 'BenchmarkScaleN10000$' -timeout 60m \
+    -benchtime "$shard_benchtime" . | tee "$tmp/shard.txt" >&2
 
 echo "timing macawsim -jobs scaling..." >&2
 go build -o "$tmp/macawsim" ./cmd/macawsim
@@ -47,7 +57,7 @@ done
 echo "-jobs output byte-identical across 1/2/4 workers" >&2
 
 awk -v nproc="$(nproc)" '
-BEGIN { n = 0; m = 0; s = 0 }
+BEGIN { n = 0; m = 0; s = 0; h = 0 }
 # bench.txt: per-table simulator benchmarks.
 FILENAME ~ /bench\.txt$/ && $1 ~ /^Benchmark/ {
     name = $1; sub(/-[0-9]+$/, "", name); sub(/^Benchmark/, "", name)
@@ -67,9 +77,20 @@ FILENAME ~ /scale\.txt$/ && $1 ~ /^BenchmarkScale/ {
     sorder[s++] = name
     next
 }
+# shard.txt: serial-vs-sharded city-scale sweep.
+FILENAME ~ /shard\.txt$/ && $1 ~ /^BenchmarkScaleN10000\// {
+    mode = $1; sub(/-[0-9]+$/, "", mode); sub(/^BenchmarkScaleN10000\//, "", mode)
+    hns[mode] = $3
+    for (i = 4; i < NF; i++) {
+        if ($(i + 1) == "pps") hpps[mode] = $i
+        if ($(i + 1) == "components") hcomp[mode] = $i
+    }
+    horder[h++] = mode
+    next
+}
 FILENAME ~ /jobs\.txt$/ { jobs_n[m] = $1; jobs_ms[m] = $2; m++ }
 END {
-    printf "{\n  \"note\": \"ns_per_op measures simulator speed; pps measures protocol behaviour and must not move at a fixed seed; jobs entries are macawsim -total 40 -warmup 5 wall-clock ms (output verified byte-identical across jobs; wall-clock speedup requires nproc > 1). scaling entries compare the neighborhood-indexed medium with the exhaustive all-radios iteration on seeded random building topologies: pps is identical by construction (the index is bit-exact), avg_neighbors is the mean relevance-set size the indexed per-event cost tracks, and the indexed/exhaustive ns_per_op ratio is the medium speedup.\",\n"
+    printf "{\n  \"note\": \"ns_per_op measures simulator speed; pps measures protocol behaviour and must not move at a fixed seed; jobs entries are macawsim -total 40 -warmup 5 wall-clock ms (output verified byte-identical across jobs; wall-clock speedup requires nproc > 1). scaling entries compare the neighborhood-indexed medium with the exhaustive all-radios iteration on seeded random building topologies: pps is identical by construction (the index is bit-exact), avg_neighbors is the mean relevance-set size the indexed per-event cost tracks, and the indexed/exhaustive ns_per_op ratio is the medium speedup. sharding entries run the 10000-station city topology serially and on the component-parallel engine at 2/4/8 shards: pps is bit-identical by construction (the benchmark fails if it moves), components counts the causally independent radio components, and speedup is serial ns_per_op over the mode ns_per_op (decomposition shrinks per-heap and per-cache costs, so speedup > 1 even at nproc = 1).\",\n"
     printf "  \"nproc\": %d,\n", nproc
     printf "  \"benchmarks\": {\n"
     for (i = 0; i < n; i++) {
@@ -86,14 +107,27 @@ END {
         if (name in snbr) printf ", \"avg_neighbors\": %s", snbr[name]
         printf "}%s\n", (i < s - 1 ? "," : "")
     }
+    printf "  },\n  \"sharding\": {\n"
+    for (i = 0; i < h; i++) {
+        mode = horder[i]
+        printf "    \"%s\": {\"ns_per_op\": %s", mode, hns[mode]
+        if (mode in hpps) printf ", \"pps\": %s", hpps[mode]
+        if (mode in hcomp) printf ", \"components\": %s", hcomp[mode]
+        if (mode != "serial" && ("serial" in hns) && hns[mode] > 0)
+            printf ", \"speedup\": %.2f", hns["serial"] / hns[mode]
+        printf "}%s\n", (i < h - 1 ? "," : "")
+    }
     printf "  },\n  \"jobs_wallclock_ms\": {\n"
     for (i = 0; i < m; i++)
         printf "    \"%s\": %s%s\n", jobs_n[i], jobs_ms[i], (i < m - 1 ? "," : "")
     printf "  }\n}\n"
-}' "$tmp/bench.txt" "$tmp/scale.txt" "$tmp/jobs.txt" > "$out"
+}' "$tmp/bench.txt" "$tmp/scale.txt" "$tmp/shard.txt" "$tmp/jobs.txt" > "$out"
 
 if [ -n "$raw" ]; then
+    # Concatenate the per-table and sharding passes so perfgate gates both;
+    # strip the second pass preamble and trailing summary lines.
     cp "$tmp/bench.txt" "$raw"
+    grep '^BenchmarkScaleN10000/' "$tmp/shard.txt" >> "$raw" || true
     echo "wrote $raw" >&2
 fi
 echo "wrote $out" >&2
