@@ -59,7 +59,10 @@ func benchAllTables(b *testing.B, jobs int) {
 				last = g.Run(cfg)
 			}
 		} else {
-			tabs := experiments.NewRunner(jobs).Tables(gens, cfg)
+			tabs, err := experiments.NewRunner(jobs).Tables(gens, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
 			last = tabs[len(tabs)-1]
 		}
 	}

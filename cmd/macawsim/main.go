@@ -37,13 +37,17 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 
 	"macaw/internal/experiments"
 	"macaw/internal/metrics"
 	"macaw/internal/sim"
+	"macaw/internal/snapshot"
 	"macaw/internal/trace"
 )
 
@@ -63,6 +67,9 @@ func main() {
 	traceMax := flag.Int("tracemax", experiments.DefaultTraceMax, "max trace events recorded per run with -tracejson (overflow is counted, not kept)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	checkEvery := flag.Float64("checkpoint-every", 0, "write a snapshot of every run each N simulated seconds (0 with -checkpoint-dir = total/8)")
+	checkDir := flag.String("checkpoint-dir", "", "directory for snapshot files and the completed-run manifest (sweeps resume past runs already in the manifest)")
+	restorePath := flag.String("restore", "", "restore this snapshot file: replay its run to the barrier, verify bit-identical state, and continue (ignores -table)")
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -118,6 +125,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "macawsim: warmup must be shorter than total")
 		os.Exit(2)
 	}
+	if *checkEvery > 0 || *checkDir != "" || *restorePath != "" {
+		cfg.Checkpoint = checkpointPlan(*checkEvery, *checkDir, cfg.Total)
+	}
+
+	if *restorePath != "" {
+		restoreAndContinue(*restorePath, cfg, *format)
+		return
+	}
 
 	var gens []experiments.Generator
 	switch {
@@ -128,14 +143,13 @@ func main() {
 	}
 
 	// The serial and parallel paths produce the same tables in the same
-	// order; -jobs only changes how many simulations are in flight.
-	var tabs []experiments.Table
-	if *jobs > 1 {
-		tabs = experiments.NewRunner(*jobs).Tables(gens, cfg)
-	} else {
-		for _, g := range gens {
-			tabs = append(tabs, g.Run(cfg.ForTable(g.ID)))
-		}
+	// order; -jobs only changes how many simulations are in flight. The
+	// runner is used even at -jobs 1 so a failed run reports which
+	// (table, seed) died instead of crashing from a worker goroutine.
+	tabs, err := experiments.NewRunner(*jobs).Tables(gens, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "macawsim: %v\n", err)
+		os.Exit(1)
 	}
 
 	if cfg.Metrics != nil {
@@ -165,6 +179,72 @@ func main() {
 	for _, tab := range tabs {
 		fmt.Println(tab.Render())
 	}
+}
+
+// checkpointPlan builds the CLI's checkpoint plan: periodic snapshot
+// barriers, an optional snapshot directory with a completed-run manifest
+// (sweeps resume past everything recorded there), and a SIGINT/SIGTERM
+// handler that flushes one final checkpoint before exiting.
+func checkpointPlan(everySec float64, dir string, total sim.Duration) *experiments.CheckpointPlan {
+	plan := &experiments.CheckpointPlan{Every: sim.FromSeconds(everySec)}
+	if plan.Every <= 0 {
+		plan.Every = total / 8
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "macawsim: -checkpoint-dir: %v\n", err)
+			os.Exit(2)
+		}
+		plan.Dir = dir
+		man, err := snapshot.OpenManifest(filepath.Join(dir, "manifest.bin"))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "macawsim: manifest: %v; starting a fresh ledger\n", err)
+		}
+		plan.Manifest = man
+		if man.Len() > 0 {
+			fmt.Fprintf(os.Stderr, "macawsim: resuming: %d completed runs already in the manifest\n", man.Len())
+		}
+	}
+	plan.OnAbort = func(last string) {
+		if last != "" {
+			fmt.Fprintf(os.Stderr, "macawsim: interrupted; final checkpoint: %s\n", last)
+		} else {
+			fmt.Fprintln(os.Stderr, "macawsim: interrupted before the first checkpoint barrier")
+		}
+		os.Exit(130)
+	}
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		plan.RequestStop()
+		<-sigs // a second signal exits without waiting for a barrier
+		os.Exit(130)
+	}()
+	return plan
+}
+
+// restoreAndContinue implements -restore: decode the snapshot (typed errors,
+// never a panic), replay its run to the barrier, verify the replayed state
+// is bit-identical to the stored inventory, and continue to completion.
+func restoreAndContinue(path string, cfg experiments.RunConfig, format string) {
+	snap, err := snapshot.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "macawsim: -restore: %v\n", err)
+		os.Exit(2)
+	}
+	tab, err := experiments.ReplayRun(snap, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "macawsim: -restore: %v\n", err)
+		os.Exit(1)
+	}
+	if format == "csv" {
+		fmt.Printf("# %s\n%s\n", tab.ID, tab.CSV())
+		return
+	}
+	fmt.Printf("MACAW reproduction — restored %s at t=%gs, seed %d\n\n",
+		snap.Run, snap.Barrier.Seconds(), snap.Seed)
+	fmt.Println(tab.Render())
 }
 
 // writeFile creates path and streams write into it.

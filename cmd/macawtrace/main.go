@@ -7,6 +7,9 @@
 //	macawtrace [-figure figureN] [-proto maca|macaw|csma] [-seconds N] [-from N] [-seed N] [-json] [-carrier]
 //	macawtrace -jsonl [same flags]     emit a typed JSONL trace including MAC-internal events
 //	macawtrace -summarize FILE         summarize a JSONL trace (from -jsonl or macawsim -tracejson)
+//	macawtrace -from-checkpoint FILE   time-travel: restore a macawsim snapshot taken just before the
+//	                                   moment of interest (an oracle violation, a wedge) and re-run it
+//	                                   with full JSONL tracing from the checkpoint barrier onward
 package main
 
 import (
@@ -17,9 +20,11 @@ import (
 	"strings"
 
 	"macaw/internal/core"
+	"macaw/internal/experiments"
 	"macaw/internal/mac/csma"
 	"macaw/internal/mac/macaw"
 	"macaw/internal/sim"
+	"macaw/internal/snapshot"
 	"macaw/internal/topo"
 	"macaw/internal/trace"
 )
@@ -34,10 +39,19 @@ func main() {
 	asJSONL := flag.Bool("jsonl", false, "emit the trace as JSON Lines, including MAC-internal events (states, timers, queues, retries, drops)")
 	carrier := flag.Bool("carrier", false, "include carrier-sense transitions")
 	summarize := flag.String("summarize", "", "summarize a JSONL trace file instead of running a simulation")
+	fromCheckpoint := flag.String("from-checkpoint", "", "restore this macawsim snapshot and emit a JSONL trace of the run from the checkpoint barrier onward")
+	traceMax := flag.Int("tracemax", experiments.DefaultTraceMax, "max events recorded per run with -from-checkpoint")
 	flag.Parse()
 
 	if *summarize != "" {
 		if err := summarizeFile(*summarize); err != nil {
+			fmt.Fprintf(os.Stderr, "macawtrace: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *fromCheckpoint != "" {
+		if err := traceFromCheckpoint(*fromCheckpoint, *traceMax); err != nil {
 			fmt.Fprintf(os.Stderr, "macawtrace: %v\n", err)
 			os.Exit(1)
 		}
@@ -99,6 +113,37 @@ func main() {
 	rec.WriteText(os.Stdout)
 	fmt.Println()
 	fmt.Println(res)
+}
+
+// traceFromCheckpoint is the time-travel triage mode: restore a snapshot —
+// replay to the barrier, verify the state inventory is bit-identical, and
+// continue — with MAC-internal tracing enabled from the barrier onward. The
+// restored run's tail prints as JSON Lines for -summarize. Because the
+// continuation is bit-identical to the original run, the emitted trace shows
+// exactly the events that led to the moment of interest (say, an oracle
+// violation a few virtual seconds after the checkpoint).
+func traceFromCheckpoint(path string, traceMax int) error {
+	snap, err := snapshot.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	cfg := experiments.RunConfig{
+		Trace:     trace.NewJSONLSink(),
+		TraceFrom: snap.Barrier,
+		TraceMax:  traceMax,
+	}
+	if _, err := experiments.ReplayRun(snap, cfg); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "macawtrace: restored %s at t=%gs, tracing to run end\n",
+		snap.Run, snap.Barrier.Seconds())
+	if err := cfg.Trace.WriteRunJSONL(os.Stdout, snap.Run); err != nil {
+		return err
+	}
+	if d := cfg.Trace.Dropped(); d > 0 {
+		fmt.Fprintf(os.Stderr, "macawtrace: %d events beyond the per-run cap (%d) were dropped; raise -tracemax to keep them\n", d, traceMax)
+	}
+	return nil
 }
 
 // summarizeFile reads a JSONL trace and prints one summary block per run:

@@ -1,0 +1,26 @@
+package backoff
+
+import "fmt"
+
+// This file is the backoff layer's contribution to the snapshot state
+// inventory (DESIGN.md §14). The per-destination tables are the paper's
+// distributed congestion estimate — exactly the state the chaos suite's
+// crash/restart faults stress — so every counter and ESN high-water mark is
+// dumped, with peers in ascending id order (the map's only canonical
+// ordering).
+
+// AppendState appends the single-counter policy's state.
+func (s *Single) AppendState(b []byte) []byte {
+	return fmt.Appendf(b, "backoff.single value=%d copy=%t\n", s.value, s.copy)
+}
+
+// AppendState appends the per-destination policy's full table.
+func (p *PerDest) AppendState(b []byte) []byte {
+	b = fmt.Appendf(b, "backoff.perdest my=%d alpha=%d peers=%d\n", p.My, p.Alpha, len(p.peers))
+	for _, id := range p.PeerIDs() {
+		pe := p.peers[id]
+		b = fmt.Appendf(b, "  peer id=%d local=%d remote=%d sendESN=%d sendRetry=%d seenESN=%d seenRetry=%d\n",
+			id, pe.Local, pe.Remote, pe.SendESN, pe.SendRetry, pe.SeenESN, pe.SeenRetry)
+	}
+	return b
+}

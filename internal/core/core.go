@@ -269,6 +269,9 @@ type Network struct {
 	nextID   frame.NodeID
 	nextSID  uint16
 	warmup   sim.Duration
+	// runStart/runTotal record the window armed by Start for End/Collect.
+	runStart sim.Time
+	runTotal sim.Duration
 	// obsFactories build the per-MAC-lifetime passive observers; see
 	// SetMACObserver and AddMACObserver.
 	obsFactories []MACObserverFactory
@@ -485,18 +488,46 @@ func (r Results) String() string {
 
 // Run simulates for total seconds of simulated time, measuring throughput
 // from warmup onward. Generators start at t=0 (any previous run's state is
-// preserved; Run is intended to be called once per Network).
+// preserved; Run is intended to be called once per Network). Run is exactly
+// Start + RunTo(End) + Collect; checkpointing callers use those pieces
+// directly so they can pause at virtual-time barriers *between* sim.Run
+// segments — the engine fires the same events in the same order whether
+// Run(end) is called once or as Run(b1), Run(b2), ..., Run(end), so a
+// barrier never perturbs the simulation (no event is ever scheduled for it).
 func (n *Network) Run(total, warmup sim.Duration) Results {
+	n.Start(total, warmup)
+	n.RunTo(n.End())
+	return n.Collect()
+}
+
+// Start arms the measurement windows and traffic generators for a run of
+// total simulated seconds with the given warmup, without advancing the
+// clock. Pair with RunTo and Collect.
+func (n *Network) Start(total, warmup sim.Duration) {
 	if warmup >= total {
 		panic("core: warmup must precede the end of the run")
 	}
 	n.warmup = warmup
 	start := n.Sim.Now()
+	n.runStart = start
+	n.runTotal = total
 	for _, s := range n.streams {
 		s.counter = stats.NewWindowed(start+warmup, start+total)
 		s.gen.Start(start + s.startAt)
 	}
-	n.Sim.Run(start + total)
+}
+
+// End reports the virtual end time of the run armed by Start.
+func (n *Network) End() sim.Time { return n.runStart + n.runTotal }
+
+// RunTo advances the simulation to virtual time t (inclusive of events
+// scheduled exactly at t). Calling RunTo repeatedly with increasing barriers
+// is bit-identical to one call with the final time.
+func (n *Network) RunTo(t sim.Time) { n.Sim.Run(t) }
+
+// Collect summarizes the run armed by Start once RunTo has reached End.
+func (n *Network) Collect() Results {
+	total, warmup := n.runTotal, n.warmup
 	res := Results{Duration: total, Warmup: warmup, Medium: n.Medium.Counters()}
 	for _, s := range n.streams {
 		r := StreamResult{

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file is the network's contribution to the snapshot state inventory
+// (DESIGN.md §14): a canonical, deterministic dump of every piece of
+// mutable state the network owns, delegating to each layer's own
+// AppendState. Byte-equality of two dumps taken at the same virtual time is
+// the snapshot verifier's divergence test, so every field that can affect
+// future behavior — and every field that can reveal a diverged past, such
+// as counters — belongs here.
+
+// stateAppender is the cross-layer state-dump hook. It is an anonymous
+// structural interface rather than a named one in a shared package so that
+// layers stay decoupled: only []byte crosses package boundaries.
+type stateAppender interface{ AppendState(b []byte) []byte }
+
+// AppendState appends the canonical dump of the entire simulation state:
+// engine (clock, heap, RNG cursors), medium, every station (radio + MAC FSM
+// + backoff tables), and every stream (generator, transport, measurement
+// window). Iteration follows creation order, which is deterministic.
+func (n *Network) AppendState(b []byte) []byte {
+	b = n.Sim.AppendState(b)
+	b = n.Medium.AppendState(b)
+	for _, st := range n.stations {
+		b = st.appendState(b)
+	}
+	for _, s := range n.streams {
+		b = s.appendState(b)
+	}
+	return b
+}
+
+// appendState dumps one station: identity, fault counters, radio, and the
+// live MAC instance's FSM (protocols that do not implement AppendState are
+// recorded by type only, so a missing inventory is visible, not silent).
+func (st *Station) appendState(b []byte) []byte {
+	b = fmt.Appendf(b, "station id=%d name=%s dropped=%d crashes=%d restarts=%d\n",
+		st.id, st.name, st.dropped, st.crashes, st.restarts)
+	b = st.radio.AppendState(b)
+	if a, ok := st.mac.(stateAppender); ok {
+		b = a.AppendState(b)
+	} else {
+		b = fmt.Appendf(b, "mac type=%T state=opaque\n", st.mac)
+	}
+	return b
+}
+
+// appendState dumps one stream: measurement window, offered bookkeeping
+// (sorted for determinism), recorded delays, generator, and transport
+// agents.
+func (s *Stream) appendState(b []byte) []byte {
+	b = fmt.Appendf(b, "stream name=%s kind=%s rate=%g startAt=%d offered=%d\n",
+		s.Name, s.Kind, s.Rate, s.startAt, s.offered)
+	if s.counter != nil {
+		b = s.counter.AppendState(b)
+	}
+	keys := make([]uint32, 0, len(s.offeredAt))
+	for k := range s.offeredAt {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	b = fmt.Appendf(b, "offeredAt n=%d", len(keys))
+	for _, k := range keys {
+		b = fmt.Appendf(b, " %d@%d", k, s.offeredAt[k])
+	}
+	b = append(b, '\n')
+	b = fmt.Appendf(b, "delays n=%d", len(s.delays))
+	for _, d := range s.delays {
+		b = fmt.Appendf(b, " %d", d)
+	}
+	b = append(b, '\n')
+	if a, ok := s.gen.(stateAppender); ok {
+		b = a.AppendState(b)
+	}
+	if s.udpSender != nil {
+		b = s.udpSender.AppendState(b)
+	}
+	if s.tcpSender != nil {
+		b = s.tcpSender.AppendState(b)
+	}
+	if s.tcpRecv != nil {
+		b = s.tcpRecv.AppendState(b)
+	}
+	return b
+}

@@ -23,7 +23,10 @@ func TestAuditIsPassive(t *testing.T) {
 	if !ok {
 		t.Fatal("table6 generator missing")
 	}
-	tabs := NewRunner(4).Tables([]Generator{gen}, audited)
+	tabs, err := NewRunner(4).Tables([]Generator{gen}, audited)
+	if err != nil {
+		t.Fatalf("parallel audited run failed: %v", err)
+	}
 	if got := tabs[0].Render(); got != base {
 		t.Fatalf("audited parallel table differs from unaudited serial:\n--- plain\n%s\n--- audited\n%s", base, got)
 	}

@@ -67,7 +67,7 @@ func ChaosTable(cfg RunConfig) Table {
 			name, mk, apply := p.name+"/"+c.name, p.f, c.apply
 			futs[pi][ci] = goFuture(cfg, func() point {
 				n := core.NewNetwork(cfg.Seed)
-				finish := cfg.instrument(name, n)
+				rc := cfg.instrument(name, n)
 				f := mk()
 				b1 := n.AddStation("B1", geom.V(0, 0, 12), f)
 				b2 := n.AddStation("B2", geom.V(14, 0, 12), f)
@@ -84,8 +84,7 @@ func ChaosTable(cfg RunConfig) Table {
 				w := fault.NewWatchdog(n)
 				w.MaxQueue = 256
 				w.Start(0)
-				res := n.Run(cfg.Total, cfg.Warmup)
-				finish(res)
+				res := rc.run(n, in.AppendState)
 				fc := in.Counters()
 				return point{
 					pps:  res.TotalPPS(),

@@ -1,0 +1,361 @@
+package experiments
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"macaw/internal/core"
+	"macaw/internal/geom"
+	"macaw/internal/mac/csma"
+	"macaw/internal/mac/macaw"
+	"macaw/internal/mac/token"
+	"macaw/internal/sim"
+	"macaw/internal/snapshot"
+)
+
+// ckptCfg is long enough for contention, retries, and the chaos fault
+// windows to develop, short enough to sweep many seeds.
+func ckptCfg() RunConfig {
+	return RunConfig{Total: 12 * sim.Second, Warmup: 2 * sim.Second, Seed: 1, Audit: true}
+}
+
+// TestCheckpointBarriersArePassive is the tentpole's first half: running
+// with checkpoint barriers — pausing the engine, capturing the full state
+// inventory, writing snapshot files — renders every table byte-identically
+// to an uninterrupted run. Barriers are engine pauses, not events, so they
+// must not perturb a single tie-break.
+func TestCheckpointBarriersArePassive(t *testing.T) {
+	gens := []Generator{mustGen(t, "table2"), mustGen(t, "table9"), ChaosGenerator()}
+	cfg := ckptCfg()
+	var straight strings.Builder
+	for _, g := range gens {
+		straight.WriteString(g.Run(cfg.ForTable(g.ID)).Render())
+	}
+
+	ck := ckptCfg()
+	ck.Checkpoint = &CheckpointPlan{Every: 3 * sim.Second, Dir: t.TempDir()}
+	var barriered strings.Builder
+	for _, g := range gens {
+		barriered.WriteString(g.Run(ck.ForTable(g.ID)).Render())
+	}
+	if straight.String() != barriered.String() {
+		t.Fatalf("checkpointed run differs from straight run:\n--- straight ---\n%s\n--- checkpointed ---\n%s",
+			straight.String(), barriered.String())
+	}
+	files, _ := filepath.Glob(filepath.Join(ck.Checkpoint.Dir, "*.snap"))
+	if len(files) == 0 {
+		t.Fatal("no snapshot files written")
+	}
+}
+
+// TestRestoreAndContinueIsBitIdentical is the tentpole's second half: a
+// snapshot written mid-run restores — replay to the barrier, byte-verified
+// state, continue — to the same rendered table as the uninterrupted run,
+// audit verdicts included (both runs are audited; a violation panics).
+func TestRestoreAndContinueIsBitIdentical(t *testing.T) {
+	cfg := ckptCfg()
+	gen := mustGen(t, "table9")
+	straight := gen.Run(cfg.ForTable(gen.ID)).Render()
+
+	dir := t.TempDir()
+	ck := ckptCfg()
+	ck.Checkpoint = &CheckpointPlan{Every: 4 * sim.Second, Dir: dir}
+	gen.Run(ck.ForTable(gen.ID))
+
+	// Restore every snapshot the run produced — both protocols (MACA and
+	// MACAW), every barrier — and demand the identical finished table.
+	files, err := filepath.Glob(filepath.Join(dir, "*.snap"))
+	if err != nil || len(files) < 4 {
+		t.Fatalf("want >= 4 snapshots (2 protocols x 2 barriers), got %d (%v)", len(files), err)
+	}
+	for _, f := range files {
+		snap, err := snapshot.ReadFile(f)
+		if err != nil {
+			t.Fatalf("ReadFile(%s): %v", f, err)
+		}
+		tab, err := ReplayRun(snap, RunConfig{})
+		if err != nil {
+			t.Fatalf("ReplayRun(%s): %v", filepath.Base(f), err)
+		}
+		if got := tab.Render(); got != straight {
+			t.Fatalf("restore from %s diverges:\n--- straight ---\n%s\n--- restored ---\n%s",
+				filepath.Base(f), straight, got)
+		}
+	}
+}
+
+// TestRestoreRejectsForeignSnapshot: a snapshot from one run must not
+// silently verify against another; ReplayRun reports when no run in the
+// table matched the snapshot's identity.
+func TestRestoreRejectsForeignSnapshot(t *testing.T) {
+	snap := &snapshot.Snapshot{
+		ConfigHash: 0xdead, Seed: 1, Barrier: 4 * sim.Second,
+		Total: 12 * sim.Second, Warmup: 2 * sim.Second,
+		Table: "table9", Run: "table9/NOPE", State: []byte("x\n"),
+	}
+	if _, err := ReplayRun(snap, RunConfig{}); err == nil {
+		t.Fatal("snapshot with a foreign run label replayed without error")
+	}
+	snap.Table = "tableX"
+	if _, err := ReplayRun(snap, RunConfig{}); err == nil {
+		t.Fatal("snapshot naming an unknown table replayed without error")
+	}
+}
+
+// TestChaosCheckpointMidFaultWindow is the chaos-suite satellite: checkpoint
+// in the middle of each fault class's active window — crash/restart downtime
+// and Gilbert–Elliott burst episodes are the hard cases, their injector
+// trajectories are live mid-capture — restore, and demand the chaos table
+// byte-identical to the uninterrupted one.
+func TestChaosCheckpointMidFaultWindow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos table is slow")
+	}
+	cfg := ckptCfg()
+	gen := ChaosGenerator()
+	straight := gen.Run(cfg.ForTable(gen.ID)).Render()
+
+	// ckptCfg spans 2s..12s: the crash window opens at warmup+span/4 =
+	// 4.5s, bursts and walks run throughout. A barrier at 5s lands inside
+	// the crash's downtime and mid-burst-trajectory for the GE classes.
+	dir := t.TempDir()
+	ck := ckptCfg()
+	ck.Checkpoint = &CheckpointPlan{Barriers: []sim.Time{5 * sim.Second}, Dir: dir}
+	if got := gen.Run(ck.ForTable(gen.ID)).Render(); got != straight {
+		t.Fatalf("chaos table with mid-fault barriers differs from straight run")
+	}
+
+	for _, class := range []string{"crash", "burst", "asym", "walk", "baseline"} {
+		for _, proto := range []string{"MACA", "MACAW"} {
+			run := "chaos/" + proto + "/" + class
+			path := filepath.Join(dir, snapshot.FileName(run, cfg.Seed, 5*sim.Second))
+			snap, err := snapshot.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing mid-fault snapshot for %s: %v", run, err)
+			}
+			if snap.Run != run {
+				t.Fatalf("snapshot run = %q, want %q", snap.Run, run)
+			}
+			// The injector trajectory must be part of the inventory:
+			// restoring mid-window hinges on it.
+			if !strings.Contains(string(snap.State), "fault") {
+				t.Fatalf("snapshot of %s carries no fault-injector state", run)
+			}
+		}
+	}
+
+	// Restore the two hard cases and demand the full chaos table back,
+	// byte-identical.
+	for _, run := range []string{"chaos/MACAW/crash", "chaos/MACA/burst"} {
+		snap, err := snapshot.ReadFile(filepath.Join(dir, snapshot.FileName(run, cfg.Seed, 5*sim.Second)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tab, err := ReplayRun(snap, RunConfig{})
+		if err != nil {
+			t.Fatalf("ReplayRun(%s): %v", run, err)
+		}
+		if got := tab.Render(); got != straight {
+			t.Fatalf("chaos table restored from %s diverges from straight run", run)
+		}
+	}
+}
+
+// ckptProtocols are the MACs the random-restore property test sweeps: every
+// protocol family in the repo.
+var ckptProtocols = []struct {
+	name string
+	f    func() core.MACFactory
+}{
+	{"MACA", func() core.MACFactory { return core.MACAFactory() }},
+	{"MACAW", func() core.MACFactory { return core.MACAWFactory(macaw.DefaultOptions()) }},
+	{"CSMA", func() core.MACFactory { return core.CSMAFactory(csma.Options{ACK: true}) }},
+	{"token", func() core.MACFactory { return core.TokenFactory(token.Options{Ring: core.RingOf(3)}) }},
+}
+
+// ckptRun builds a contended three-station cell under the given MAC and runs
+// it through the instrument/run chokepoint — the same path the generators
+// use, including audit.
+func ckptRun(cfg RunConfig, name string, mk func() core.MACFactory) core.Results {
+	n := core.NewNetwork(cfg.Seed)
+	rc := cfg.instrument(name, n)
+	f := mk()
+	b := n.AddStation("B", geom.V(0, 0, 12), f)
+	p1 := n.AddStation("P1", geom.V(-4, 3, 6), f)
+	p2 := n.AddStation("P2", geom.V(4, 3, 6), f)
+	n.AddStream(p1, b, core.UDP, 30)
+	n.AddStream(p2, b, core.UDP, 30)
+	n.AddStream(b, p1, core.UDP, 10)
+	return rc.run(n)
+}
+
+// TestRestoreAtRandomTimes is the property-test satellite: across every
+// protocol and 50 seeds, checkpoint at random virtual times, restore each
+// snapshot, and diff the continued run's results (and audit verdicts — all
+// runs are audited, a violation panics) against the straight-through run.
+// The barrier times are drawn per (protocol, seed), so the sweep restores
+// at far more than 25 distinct virtual times.
+func TestRestoreAtRandomTimes(t *testing.T) {
+	seeds := 50
+	if testing.Short() {
+		seeds = 4
+	}
+	cfg := RunConfig{Total: 6 * sim.Second, Warmup: 1 * sim.Second, Audit: true}
+	for _, proto := range ckptProtocols {
+		proto := proto
+		t.Run(proto.name, func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(1); seed <= int64(seeds); seed++ {
+				cfg := cfg
+				cfg.Seed = seed
+				straight := ckptRun(cfg, proto.name, proto.f)
+
+				// Two random barriers inside (warmup, total), drawn
+				// deterministically per (protocol, seed).
+				rng := rand.New(rand.NewSource(seed<<8 + int64(len(proto.name))))
+				span := int64(cfg.Total) - int64(cfg.Warmup)
+				var barriers []sim.Time
+				for len(barriers) < 2 {
+					b := sim.Time(int64(cfg.Warmup) + 1 + rng.Int63n(span-2))
+					barriers = append(barriers, b)
+				}
+				dir := t.TempDir()
+				ck := cfg
+				ck.Checkpoint = &CheckpointPlan{Barriers: barriers, Dir: dir}
+				if got := ckptRun(ck, proto.name, proto.f); !reflect.DeepEqual(straight, got) {
+					t.Fatalf("seed %d: barriered results differ from straight run", seed)
+				}
+
+				// Restore at one of the two barriers, alternating.
+				b := barriers[seed%2]
+				snap, err := snapshot.ReadFile(filepath.Join(dir, snapshot.FileName(proto.name, seed, b)))
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				re := cfg
+				re.Checkpoint = &CheckpointPlan{RestoreSnap: snap}
+				got := ckptRun(re, proto.name, proto.f)
+				if !reflect.DeepEqual(straight, got) {
+					t.Fatalf("seed %d: restore at t=%v diverges from straight run", seed, b)
+				}
+				if v := re.Checkpoint.Verified(); len(v) != 1 || v[0] != proto.name {
+					t.Fatalf("seed %d: restore at t=%v was not verified (%v)", seed, b, v)
+				}
+			}
+		})
+	}
+}
+
+// TestManifestMemoizesCompletedRuns: a sweep re-run against the manifest of
+// a finished sweep replays nothing — no new snapshots are written — and
+// renders byte-identically. This is the crash-safe resume path: whatever a
+// killed sweep completed is skipped on the next invocation.
+func TestManifestMemoizesCompletedRuns(t *testing.T) {
+	dir := t.TempDir()
+	man, err := snapshot.OpenManifest(filepath.Join(dir, "manifest.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ckptCfg()
+	cfg.Checkpoint = &CheckpointPlan{Every: 4 * sim.Second, Dir: dir, Manifest: man}
+	gen := mustGen(t, "table9")
+	first := gen.Run(cfg.ForTable(gen.ID)).Render()
+	if man.Len() != 2 {
+		t.Fatalf("manifest recorded %d runs, want 2", man.Len())
+	}
+	snaps, _ := filepath.Glob(filepath.Join(dir, "*.snap"))
+	for _, s := range snaps {
+		if err := os.Remove(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Re-open the manifest as a fresh process would and re-run the sweep.
+	man2, err := snapshot.OpenManifest(filepath.Join(dir, "manifest.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := ckptCfg()
+	cfg2.Checkpoint = &CheckpointPlan{Every: 4 * sim.Second, Dir: dir, Manifest: man2}
+	second := gen.Run(cfg2.ForTable(gen.ID)).Render()
+	if first != second {
+		t.Fatalf("memoized sweep renders differently:\n--- first ---\n%s\n--- second ---\n%s", first, second)
+	}
+	if left, _ := filepath.Glob(filepath.Join(dir, "*.snap")); len(left) != 0 {
+		t.Fatalf("memoized sweep re-executed runs: %d new snapshots written", len(left))
+	}
+}
+
+// TestRunnerReportsFailedRun is the worker-pool satellite: a run that dies
+// under -jobs must not take the process down or strand its siblings — the
+// pool drains, queued runs cancel, and Tables returns which (table, seed)
+// died.
+func TestRunnerReportsFailedRun(t *testing.T) {
+	boom := Generator{ID: "boom", Name: "always panics", Run: func(cfg RunConfig) Table {
+		f := goFuture(cfg, func() int { panic("injected failure") })
+		f.wait()
+		return Table{ID: "boom"}
+	}}
+	good := mustGen(t, "table9")
+	cfg := RunConfig{Total: 4 * sim.Second, Warmup: 1 * sim.Second, Seed: 7}
+
+	tabs, err := NewRunner(4).Tables([]Generator{good, boom}, cfg)
+	if err == nil {
+		t.Fatal("Tables returned no error for a panicking run")
+	}
+	var rf *RunFailure
+	if f, ok := err.(*RunFailure); ok {
+		rf = f
+	} else {
+		t.Fatalf("error is %T, want *RunFailure", err)
+	}
+	if rf.Table != "boom" || rf.Seed != 7 {
+		t.Fatalf("failure names (%q, %d), want (boom, 7)", rf.Table, rf.Seed)
+	}
+	if msg := err.Error(); !strings.Contains(msg, "boom") || !strings.Contains(msg, "seed 7") {
+		t.Fatalf("error %q does not name the dead (table, seed)", msg)
+	}
+	// The sibling table completed and was not abandoned. (On a one-core
+	// machine the pool degenerates to the serial path, which stops at the
+	// failure; the completed sibling is still returned either way.)
+	if len(tabs) < 1 || tabs[0].ID != "table9" || len(tabs[0].Columns) == 0 {
+		t.Fatalf("sibling table abandoned: %+v", tabs)
+	}
+
+	// Serial path: same reporting, partial results up to the failure.
+	if _, err := NewRunner(1).Tables([]Generator{good, boom}, cfg); err == nil {
+		t.Fatal("serial Tables returned no error for a panicking run")
+	}
+}
+
+// TestRunnerCancelsQueuedRuns: once one run fails, runs still waiting for a
+// pool slot are skipped rather than started.
+func TestRunnerCancelsQueuedRuns(t *testing.T) {
+	r := NewRunner(1)
+	cfg := RunConfig{Seed: 3}.WithRunner(r)
+	cfg.table = "boom"
+	first := goFuture(cfg, func() int { panic("die first") })
+	first.wait()
+	started := false
+	second := goFuture(cfg, func() int { started = true; return 1 })
+	if got := second.wait(); got != 0 || started {
+		t.Fatalf("queued run started after a failure (val=%d started=%t)", got, started)
+	}
+	if f := r.Failure(); f == nil || f.Seed != 3 {
+		t.Fatalf("failure not recorded: %+v", f)
+	}
+}
+
+// mustGen fetches a paper-table generator.
+func mustGen(t *testing.T, id string) Generator {
+	t.Helper()
+	g, ok := ByID(id)
+	if !ok {
+		t.Fatalf("generator %q missing", id)
+	}
+	return g
+}

@@ -48,7 +48,11 @@ func TestSerialRunsAreReproducible(t *testing.T) {
 // the property cmd/macawsim's -jobs flag is allowed to assume.
 func TestParallelMatchesSerial(t *testing.T) {
 	serial := renderAll(runSerial(detCfg()))
-	parallel := renderAll(NewRunner(4).Tables(All(), detCfg()))
+	tabs, err := NewRunner(4).Tables(All(), detCfg())
+	if err != nil {
+		t.Fatalf("parallel sweep failed: %v", err)
+	}
+	parallel := renderAll(tabs)
 	if serial != parallel {
 		t.Fatalf("parallel output differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
 	}

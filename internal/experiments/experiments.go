@@ -46,6 +46,19 @@ type RunConfig struct {
 	// means DefaultTraceMax). Overflow is counted, not silently lost.
 	TraceMax int
 
+	// TraceFrom, when Trace is set, suppresses recording before this
+	// virtual time. Time-travel triage restores a checkpoint taken just
+	// before a violation and records only the tail that matters.
+	TraceFrom sim.Time
+
+	// Checkpoint, when non-nil, runs every simulation under the plan:
+	// pausing at virtual-time barriers to capture (and optionally write
+	// and verify) the canonical state inventory, memoizing completed runs
+	// in the manifest, and honouring cooperative stop requests. See
+	// CheckpointPlan. Checkpointed runs stay on the monolithic serial
+	// engine, like metrics- and trace-instrumented ones.
+	Checkpoint *CheckpointPlan
+
 	// Shards, when > 1, executes eligible runs on the spatially-sharded
 	// parallel engine (core.Blueprint.Run): the building's causally
 	// independent radio components run on separate event heaps across up
@@ -227,16 +240,14 @@ func runLayout(cfg RunConfig, name string, l topo.Layout, f core.MACFactory, mod
 		return res
 	}
 	n := core.NewNetwork(cfg.Seed)
-	finish := cfg.instrument(name, n)
+	rc := cfg.instrument(name, n)
 	if err := l.Build(n, f); err != nil {
 		panic(fmt.Sprintf("experiments: %v", err))
 	}
 	for _, mod := range mods {
 		mod(n)
 	}
-	res := n.Run(cfg.Total, cfg.Warmup)
-	finish(res)
-	return res
+	return rc.run(n)
 }
 
 // runSharded dispatches an eligible run to the sharded engine. plain is
@@ -244,7 +255,7 @@ func runLayout(cfg RunConfig, name string, l topo.Layout, f core.MACFactory, mod
 // path (see RunConfig.Shards); so do metrics and trace instrumentation. ok
 // is false when the monolithic path must run instead.
 func (cfg RunConfig) runSharded(l topo.Layout, f core.MACFactory, plain bool) (core.Results, bool) {
-	if cfg.Shards <= 1 || !plain || cfg.Metrics != nil || cfg.Trace != nil {
+	if cfg.Shards <= 1 || !plain || cfg.Metrics != nil || cfg.Trace != nil || cfg.Checkpoint != nil {
 		return core.Results{}, false
 	}
 	bp, err := l.Blueprint(f)
@@ -270,12 +281,25 @@ func (cfg RunConfig) runSharded(l topo.Layout, f core.MACFactory, plain bool) (c
 	return res, true
 }
 
+// runCtl is the per-run control handle instrument returns: the run's sink
+// label, the finish hook for its passive observers, and (when auditing) the
+// oracle's state appender so checkpoints capture audit expectations too.
+// Its run method is the chokepoint that executes the network — plainly, or
+// under the config's checkpoint plan.
+type runCtl struct {
+	cfg    RunConfig
+	label  string
+	finish func(core.Results)
+	obs    func([]byte) []byte
+}
+
 // instrument attaches every configured passive observer (oracle, metrics
 // collector, trace recorder) to a freshly built network and returns the
-// finish hook to call once with the run's results. It must be called before
-// the layout adds stations. All attachments are observation-only, so an
-// instrumented run's results are byte-identical to a bare one.
-func (cfg RunConfig) instrument(name string, n *core.Network) func(core.Results) {
+// run's control handle; call rc.run(n) once the layout is built. It must be
+// called before the layout adds stations. All attachments are
+// observation-only, so an instrumented run's results are byte-identical to
+// a bare one.
+func (cfg RunConfig) instrument(name string, n *core.Network) runCtl {
 	a := cfg.newAudit(n)
 	var col *metrics.Collector
 	if cfg.Metrics != nil {
@@ -289,17 +313,23 @@ func (cfg RunConfig) instrument(name string, n *core.Network) func(core.Results)
 		if rec.Max == 0 {
 			rec.Max = DefaultTraceMax
 		}
+		rec.From = cfg.TraceFrom
 		n.AddMACObserver(rec.MACObserver)
 	}
-	return func(res core.Results) {
+	rc := runCtl{cfg: cfg, label: cfg.runLabel(name)}
+	if a.o != nil {
+		rc.obs = a.o.AppendState
+	}
+	rc.finish = func(res core.Results) {
 		a.check()
 		if col != nil {
-			cfg.Metrics.Add(cfg.runLabel(name), col.Snapshot(n, res, cfg.Seed))
+			cfg.Metrics.Add(rc.label, col.Snapshot(n, res, cfg.Seed))
 		}
 		if rec != nil {
-			cfg.Trace.Add(cfg.runLabel(name), rec.Events(), rec.Dropped())
+			cfg.Trace.Add(rc.label, rec.Events(), rec.Dropped())
 		}
 	}
+	return rc
 }
 
 // audit is the per-run handle of the conformance oracle; the zero value (no

@@ -44,7 +44,7 @@ func ExtAckSchemes(cfg RunConfig) Table {
 			name, opt, p := sc.name, sc.opt, p
 			futs[si][pi] = goFuture(cfg, func() float64 {
 				n := core.NewNetwork(cfg.Seed)
-				finish := cfg.instrument(fmt.Sprintf("%s/p=%g", name, p), n)
+				rc := cfg.instrument(fmt.Sprintf("%s/p=%g", name, p), n)
 				f := core.MACAWFactory(opt)
 				pad := n.AddStation("P", geom.V(-4, 0, 6), f)
 				base := n.AddStation("B", geom.V(0, 0, 12), f)
@@ -52,8 +52,7 @@ func ExtAckSchemes(cfg RunConfig) Table {
 				if p > 0 {
 					n.Medium.SetNoise(phy.DestLoss{P: p})
 				}
-				res := n.Run(cfg.Total, cfg.Warmup)
-				finish(res)
+				res := rc.run(n)
 				return res.PPS("P-B")
 			})
 		}
@@ -198,16 +197,14 @@ func ExtTokenVsMACAW(cfg RunConfig) Table {
 		return goFuture(cfg, func() core.Results {
 			l := topo.Figure3()
 			n := core.NewNetwork(cfg.Seed)
-			finish := cfg.instrument(name, n)
+			rc := cfg.instrument(name, n)
 			if err := l.Build(n, f); err != nil {
 				panic(err)
 			}
 			if kill {
 				n.PowerOff(n.Station("P6"), cfg.Warmup/2)
 			}
-			res := n.Run(cfg.Total, cfg.Warmup)
-			finish(res)
-			return res
+			return rc.run(n)
 		})
 	}
 	tokenF := core.TokenFactory(token.Options{Ring: core.RingOf(7)})
@@ -273,15 +270,14 @@ func ExtLoadSweep(cfg RunConfig) Table {
 			name, mk, r := p.name, p.f, r
 			futs[pi][ri] = goFuture(cfg, func() point {
 				n := core.NewNetwork(cfg.Seed)
-				finish := cfg.instrument(fmt.Sprintf("%s/offered=%gx4", name, r), n)
+				rc := cfg.instrument(fmt.Sprintf("%s/offered=%gx4", name, r), n)
 				f := mk()
 				base := n.AddStation("B", geom.V(0, 0, 12), f)
 				for i := 0; i < 4; i++ {
 					pad := n.AddStation(fmt.Sprintf("P%d", i+1), geom.V(4-float64(2*i), 3, 6), f)
 					n.AddStream(pad, base, core.UDP, r)
 				}
-				out := n.Run(cfg.Total, cfg.Warmup)
-				finish(out)
+				out := rc.run(n)
 				var meanDelay float64
 				var nd int
 				for _, s := range out.Streams {

@@ -28,7 +28,11 @@ func renderAllInstr(cfg RunConfig, jobs int) string {
 	gens = append(gens, ChaosGenerator())
 	var tabs []Table
 	if jobs > 1 {
-		tabs = NewRunner(jobs).Tables(gens, cfg)
+		var err error
+		tabs, err = NewRunner(jobs).Tables(gens, cfg)
+		if err != nil {
+			panic(err)
+		}
 	} else {
 		for _, g := range gens {
 			tabs = append(tabs, g.Run(cfg.ForTable(g.ID)))
@@ -91,16 +95,14 @@ func TestMetricsDisabledEnabledByteIdentical(t *testing.T) {
 func TestMetricsDifferentialCSMA(t *testing.T) {
 	run := func(cfg RunConfig) core.Results {
 		n := core.NewNetwork(cfg.Seed)
-		finish := cfg.instrument("csma", n)
+		rc := cfg.instrument("csma", n)
 		f := core.CSMAFactory(csma.Options{ACK: true})
 		p1 := n.AddStation("P1", geom.V(-4, 3, 6), f)
 		p2 := n.AddStation("P2", geom.V(4, 3, 6), f)
 		b := n.AddStation("B", geom.V(0, 0, 12), f)
 		n.AddStream(p1, b, core.UDP, 20)
 		n.AddStream(p2, b, core.UDP, 20)
-		res := n.Run(cfg.Total, cfg.Warmup)
-		finish(res)
-		return res
+		return rc.run(n)
 	}
 	bare := run(diffCfg())
 	cfg := diffCfg()

@@ -1,8 +1,11 @@
 package experiments
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 
 	"macaw/internal/core"
 	"macaw/internal/topo"
@@ -14,11 +17,56 @@ import (
 // no mutable state and each is a pure function of (layout, factory, config).
 // Parallel execution therefore changes only wall-clock order: the results,
 // and any output rendered from them, are byte-identical to a serial run.
+//
+// A run that panics (an oracle violation, a watchdog abort, a checkpoint
+// divergence) does not take the process down from a worker goroutine: the
+// failure is captured as a RunFailure naming the (table, seed) that died,
+// runs already executing drain normally — their results reach the manifest
+// — queued runs are cancelled, and Tables returns the failure as an error.
 type Runner struct {
 	// sem bounds the number of runs executing at once. Generators submit
 	// every run before waiting on the first, and waiters never hold a
 	// slot, so the pool cannot deadlock however small it is.
 	sem chan struct{}
+
+	// failure holds the first run failure; once set, queued runs are
+	// skipped instead of started.
+	failure atomic.Pointer[RunFailure]
+}
+
+// RunFailure identifies a run that panicked under the pool.
+type RunFailure struct {
+	// Table is the run-label prefix of the generator that died ("" for an
+	// unprefixed run).
+	Table string
+	// Seed is the dead run's seed.
+	Seed int64
+	// Err is the recovered panic value; Stack the goroutine stack at the
+	// point of panic.
+	Err   any
+	Stack []byte
+}
+
+// Error renders the failure with its (table, seed) identity first.
+func (f *RunFailure) Error() string {
+	table := f.Table
+	if table == "" {
+		table = "(unlabelled)"
+	}
+	return fmt.Sprintf("run failed in table %s, seed %d: %v", table, f.Seed, f.Err)
+}
+
+// Failure returns the first recorded run failure, or nil.
+func (r *Runner) Failure() *RunFailure {
+	if r == nil {
+		return nil
+	}
+	return r.failure.Load()
+}
+
+// fail records f as the pool's failure if none is recorded yet.
+func (r *Runner) fail(f *RunFailure) {
+	r.failure.CompareAndSwap(nil, f)
 }
 
 // NewRunner returns a Runner executing at most jobs runs concurrently.
@@ -64,7 +112,10 @@ func (f *future[T]) wait() T {
 // goFuture dispatches fn according to cfg. With no runner it calls fn inline
 // and returns an already-resolved future — the serial path is the exact
 // pre-runner execution order, not a degenerate pool. With a runner, fn runs
-// on a pooled goroutine; the caller keeps submitting and waits later.
+// on a pooled goroutine; the caller keeps submitting and waits later. A
+// panicking fn resolves its future to the zero value and records the first
+// RunFailure on the pool; once one run has failed, queued runs resolve to
+// zero without starting (cancelled), while runs already executing finish.
 func goFuture[T any](cfg RunConfig, fn func() T) *future[T] {
 	if cfg.runner == nil {
 		return &future[T]{val: fn()}
@@ -73,10 +124,17 @@ func goFuture[T any](cfg RunConfig, fn func() T) *future[T] {
 	go func() {
 		cfg.runner.sem <- struct{}{}
 		defer func() {
+			if p := recover(); p != nil {
+				cfg.runner.fail(&RunFailure{
+					Table: cfg.table, Seed: cfg.Seed, Err: p, Stack: debug.Stack(),
+				})
+			}
 			<-cfg.runner.sem
 			close(f.done)
 		}()
-		f.val = fn()
+		if cfg.runner.Failure() == nil {
+			f.val = fn()
+		}
 	}()
 	return f
 }
@@ -95,13 +153,22 @@ func (cfg RunConfig) goRun(name string, l topo.Layout, f core.MACFactory, mods .
 // generators execute inline, one after another, with zero goroutine or
 // channel overhead — a degenerate pool would serialize the same work
 // through futures and cost wall-clock for nothing.
-func (r *Runner) Tables(gens []Generator, cfg RunConfig) []Table {
+//
+// If any run fails, Tables still drains every in-flight run (completed
+// sibling results are kept, and flushed to the checkpoint manifest when one
+// is configured), then returns the tables produced so far together with a
+// *RunFailure error naming the (table, seed) that died.
+func (r *Runner) Tables(gens []Generator, cfg RunConfig) ([]Table, error) {
 	out := make([]Table, len(gens))
 	if r.Jobs() <= 1 {
 		for i, g := range gens {
-			out[i] = g.Run(cfg.ForTable(g.ID))
+			tab, err := r.runTable(g, cfg)
+			if err != nil {
+				return out[:i], err
+			}
+			out[i] = tab
 		}
-		return out
+		return out, nil
 	}
 	cfg = cfg.WithRunner(r)
 	var wg sync.WaitGroup
@@ -109,9 +176,26 @@ func (r *Runner) Tables(gens []Generator, cfg RunConfig) []Table {
 		wg.Add(1)
 		go func(i int, g Generator) {
 			defer wg.Done()
-			out[i] = g.Run(cfg.ForTable(g.ID))
+			out[i], _ = r.runTable(g, cfg)
 		}(i, g)
 	}
 	wg.Wait()
-	return out
+	if f := r.Failure(); f != nil {
+		return out, f
+	}
+	return out, nil
+}
+
+// runTable executes one generator, converting a panic on this goroutine
+// (generator code outside any pooled run, or an inline serial run) into the
+// same RunFailure shape pooled workers record.
+func (r *Runner) runTable(g Generator, cfg RunConfig) (tab Table, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			f := &RunFailure{Table: g.ID, Seed: cfg.Seed, Err: p, Stack: debug.Stack()}
+			r.fail(f)
+			err = f
+		}
+	}()
+	return g.Run(cfg.ForTable(g.ID)), nil
 }

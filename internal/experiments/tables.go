@@ -108,7 +108,7 @@ func Table4(cfg RunConfig) Table {
 	run := func(name string, exchange macaw.Exchange, p float64) *future[float64] {
 		return goFuture(cfg, func() float64 {
 			n := core.NewNetwork(cfg.Seed)
-			finish := cfg.instrument(fmt.Sprintf("%s/p=%g", name, p), n)
+			rc := cfg.instrument(fmt.Sprintf("%s/p=%g", name, p), n)
 			f := variant(macaw.Options{Exchange: exchange}, singlePolicy(backoff.NewMILD(), true))
 			pad := n.AddStation("P", geom.V(-4, 0, 6), f)
 			base := n.AddStation("B", geom.V(0, 0, 12), f)
@@ -116,8 +116,7 @@ func Table4(cfg RunConfig) Table {
 			if p > 0 {
 				n.Medium.SetNoise(phy.DestLoss{P: p})
 			}
-			res := n.Run(cfg.Total, cfg.Warmup)
-			finish(res)
+			res := rc.run(n)
 			return res.PPS("P-B")
 		})
 	}
@@ -254,13 +253,11 @@ func Table9(cfg RunConfig) Table {
 	run := func(name string, f core.MACFactory) *future[core.Results] {
 		return goFuture(cfg, func() core.Results {
 			n := core.NewNetwork(cfg.Seed)
-			finish := cfg.instrument(name, n)
+			rc := cfg.instrument(name, n)
 			pad := n.AddStation("P", geom.V(-4, 0, 6), f)
 			base := n.AddStation("B", geom.V(0, 0, 12), f)
 			n.AddStream(pad, base, core.UDP, 64)
-			res := n.Run(cfg.Total, cfg.Warmup)
-			finish(res)
-			return res
+			return rc.run(n)
 		})
 	}
 	maca := run("MACA", core.MACAFactory())

@@ -134,3 +134,17 @@ func (in *Injector) Counters() stats.FaultCounters {
 	}
 	return fc
 }
+
+// AppendState appends the injector's dynamic state for the snapshot
+// inventory (DESIGN.md §14). The crash/restart/walk *schedules* live in the
+// event heap (already covered by the engine dump); what the injector itself
+// owns is the exposure counters and each burst channel's Markov trajectory.
+func (in *Injector) AppendState(b []byte) []byte {
+	fc := in.fc
+	b = fmt.Appendf(b, "fault crashes=%d restarts=%d linkfaults=%d moves=%d noise=%d ge=%d\n",
+		fc.Crashes, fc.Restarts, fc.LinkFaults, fc.Moves, len(in.noise), len(in.ge))
+	for _, g := range in.ge {
+		b = g.AppendState(b)
+	}
+	return b
+}

@@ -1,0 +1,16 @@
+package maca
+
+import "fmt"
+
+// AppendState appends the engine's full FSM state for the snapshot
+// inventory (DESIGN.md §14).
+func (m *MACA) AppendState(b []byte) []byte {
+	b = fmt.Appendf(b, "maca st=%s retries=%d timer=%d timerCancelled=%t defer=%d curDst=%d expectFrom=%d seq=%d halted=%t\n",
+		m.st, m.retries, m.timer.When(), m.timer.Cancelled(), m.deferUntil, m.curDst, m.expectFrom, m.seq, m.halted)
+	b = m.q.AppendState(b)
+	if a, ok := m.pol.(interface{ AppendState([]byte) []byte }); ok {
+		b = a.AppendState(b)
+	}
+	b = m.stats.AppendState(b)
+	return b
+}

@@ -1,0 +1,35 @@
+package mac
+
+import "fmt"
+
+// This file provides the queue dumps shared by every protocol engine's
+// snapshot state inventory (DESIGN.md §14). Packet identity is (dst, size,
+// seq, enqueue time, payload length) — payload bytes are transport segments
+// already pinned by the transport dump, so their length suffices here.
+
+// AppendState appends the queue's packets in FIFO order.
+func (q *Queue) AppendState(b []byte) []byte {
+	b = fmt.Appendf(b, "queue n=%d", len(q.items))
+	for _, p := range q.items {
+		b = fmt.Appendf(b, " {dst=%d size=%d seq=%d enq=%d pay=%d}", p.Dst, p.Size, p.seq, p.Enqueued, len(p.Payload))
+	}
+	return append(b, '\n')
+}
+
+// AppendState appends every per-destination queue in first-seen order —
+// the same deterministic order the protocols themselves iterate in.
+func (s *StreamQueues) AppendState(b []byte) []byte {
+	b = fmt.Appendf(b, "streamqueues dests=%d\n", len(s.order))
+	for _, d := range s.order {
+		b = fmt.Appendf(b, "  dst=%d ", d)
+		b = s.qs[d].AppendState(b)
+	}
+	return b
+}
+
+// AppendState appends the MAC counters (part of each engine's dump).
+func (st Stats) AppendState(b []byte) []byte {
+	return fmt.Appendf(b, "macstats data=%d rx=%d rts=%d retries=%d drops=%d cts=%d ds=%d ack=%d rrts=%d\n",
+		st.DataSent, st.DataReceived, st.RTSSent, st.Retries, st.Drops,
+		st.CTSSent, st.DSSent, st.ACKSent, st.RRTSSent)
+}

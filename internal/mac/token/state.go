@@ -1,0 +1,13 @@
+package token
+
+import "fmt"
+
+// AppendState appends the engine's full FSM state for the snapshot
+// inventory (DESIGN.md §14).
+func (t *Token) AppendState(b []byte) []byte {
+	b = fmt.Appendf(b, "token st=%s ringPos=%d passTo=%d sentThis=%d timer=%d watchdog=%d seq=%d regen=%d skips=%d\n",
+		t.st, t.ringPos, t.passTo, t.sentThis, t.timer.When(), t.watchdog.When(), t.seq, t.Regenerations, t.Skips)
+	b = t.q.AppendState(b)
+	b = t.stats.AppendState(b)
+	return b
+}

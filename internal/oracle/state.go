@@ -1,0 +1,84 @@
+package oracle
+
+import (
+	"fmt"
+	"sort"
+
+	"macaw/internal/frame"
+)
+
+// AppendState appends the oracle's audit state for the snapshot inventory
+// (DESIGN.md §14): the violation tally plus each station monitor's
+// protocol expectations (defer horizon, unanswered-RTS/solicitation sets,
+// grant/DS/ESN high-water marks, delivery watermarks). Monitors and their
+// maps are dumped in sorted order so the dump is canonical. The oracle is
+// passive, but its *verdicts* are part of a run's observable output —
+// restoring a run must reproduce the same `-audit` result, so the
+// expectations that produce those verdicts are inventory too.
+func (o *Oracle) AppendState(b []byte) []byte {
+	b = fmt.Appendf(b, "oracle seed=%d monitors=%d violations=%d\n", o.seed, len(o.mons), o.total)
+	for _, v := range o.violations {
+		b = fmt.Appendf(b, "  violation rule=%s station=%s at=%d\n", v.Rule, v.Station, v.At)
+	}
+	ids := make([]frame.NodeID, 0, len(o.mons))
+	for id := range o.mons {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		m := o.mons[id]
+		b = fmt.Appendf(b, "monitor id=%d name=%s kind=%d horizon=%d ring=%d\n",
+			m.id, m.name, m.kind, m.horizon, len(m.ring))
+		b = appendBoolSet(b, "pendingRTS", m.pendingRTS)
+		b = appendBoolSet(b, "solicited", m.solicited)
+		b = appendU32Map(b, "grant", m.grant)
+		b = appendU32Map(b, "dsSent", m.dsSent)
+		b = appendU32Map(b, "esnTx", m.esnTx)
+		b = appendU32Map(b, "lastData", m.lastData)
+		b = appendStreamMap(b, m.delivered)
+	}
+	return b
+}
+
+func sortedNodeIDs[V any](m map[frame.NodeID]V) []frame.NodeID {
+	ids := make([]frame.NodeID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func appendBoolSet(b []byte, name string, m map[frame.NodeID]bool) []byte {
+	b = fmt.Appendf(b, "  %s n=%d", name, len(m))
+	for _, id := range sortedNodeIDs(m) {
+		b = fmt.Appendf(b, " %d=%t", id, m[id])
+	}
+	return append(b, '\n')
+}
+
+func appendU32Map(b []byte, name string, m map[frame.NodeID]uint32) []byte {
+	b = fmt.Appendf(b, "  %s n=%d", name, len(m))
+	for _, id := range sortedNodeIDs(m) {
+		b = fmt.Appendf(b, " %d=%d", id, m[id])
+	}
+	return append(b, '\n')
+}
+
+func appendStreamMap(b []byte, m map[stream]uint32) []byte {
+	keys := make([]stream, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].src != keys[j].src {
+			return keys[i].src < keys[j].src
+		}
+		return !keys[i].mcast && keys[j].mcast
+	})
+	b = fmt.Appendf(b, "  delivered n=%d", len(m))
+	for _, k := range keys {
+		b = fmt.Appendf(b, " %d/mc=%t=%d", k.src, k.mcast, m[k])
+	}
+	return append(b, '\n')
+}

@@ -1,0 +1,60 @@
+package phy
+
+import (
+	"fmt"
+)
+
+// This file is the radio medium's contribution to the snapshot state
+// inventory (DESIGN.md §14). Only *authoritative* state is dumped: active
+// transmissions, in-flight receptions, noise-source switches, counters, and
+// per-radio flags. The gain/noise/carrier caches and the neighborhood index
+// are derived — they are recomputable pure functions of positions and the
+// active set, and cache fill order legitimately differs between a straight
+// run and a replayed one (NaN-dirty entries repopulate lazily), so including
+// them would flag false divergence. The pooled transmission/reception free
+// lists are logical state (their sizes affect nothing but must match if the
+// histories matched) and are dumped as lengths.
+
+// AppendState appends the medium's canonical state dump.
+func (m *Medium) AppendState(b []byte) []byte {
+	b = fmt.Appendf(b, "medium radios=%d txseq=%d txfree=%d recfree=%d indexed=%t exhaustive=%t\n",
+		len(m.radios), m.txSeq, len(m.txFree), len(m.recFree), m.indexed, m.exhaustive)
+	c := m.counters
+	b = fmt.Appendf(b, "medium.counters tx=%d delivered=%d corrupted=%d noise=%d aborted=%d\n",
+		c.Transmissions, c.Delivered, c.Corrupted, c.NoiseDropped, c.Aborted)
+	for _, t := range m.active {
+		b = appendTransmission(b, t)
+	}
+	for i, src := range m.sources {
+		b = fmt.Appendf(b, "noisesrc i=%d pos=%v power=%g on=%t\n", i, src.pos, src.power, src.on)
+	}
+	return b
+}
+
+// appendTransmission dumps one active transmission and its receptions.
+// Active transmissions are kept in start order, which is deterministic.
+func appendTransmission(b []byte, t *transmission) []byte {
+	b = fmt.Appendf(b, "tx seq=%d src=%d end=%d frame={type=%v dst=%d bytes=%d lb=%d rb=%d esn=%d seq=%d mc=%t}\n",
+		t.seq, t.radio.id, t.end, t.f.Type, t.f.Dst, t.f.DataBytes,
+		t.f.LocalBackoff, t.f.RemoteBackoff, t.f.ESN, t.f.Seq, t.f.Multicast)
+	for _, r := range t.rx {
+		b = fmt.Appendf(b, "  rx at=%d power=%g corrupted=%t\n", r.radio.id, r.power, r.corrupted)
+	}
+	return b
+}
+
+// AppendState appends one radio's flags and in-flight reception count. The
+// reception details live with their owning transmissions (see above);
+// repeating them here would double-count without adding discrimination.
+func (r *Radio) AppendState(b []byte) []byte {
+	return fmt.Appendf(b, "radio id=%d pos=%v enabled=%t carrier=%t transmitting=%t recs=%d\n",
+		r.id, r.pos, r.enabled, r.carrierBusy, r.tx != nil, len(r.recs))
+}
+
+// AppendState appends the burst channel's Markov trajectory position: the
+// current state, the next toggle time, and the episode count. The dwell-time
+// generator's cursor is covered by the simulator's RNG stream dump.
+func (g *GilbertElliott) AppendState(b []byte) []byte {
+	return fmt.Appendf(b, "gilbert bad=%t next=%d started=%t episodes=%d\n",
+		g.bad, g.next, g.started, g.episodes)
+}

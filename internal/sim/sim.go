@@ -221,15 +221,20 @@ type Simulator struct {
 	streams    int64
 	rng        *rand.Rand
 	stopped    bool
-	free       []*event // recycled event records
-	ncancelled int      // cancelled events still sitting in the queue
-	nfired     uint64   // events fired by Step over the simulator's lifetime
-	maxQueue   int      // high-water mark of the event queue length
+	free       []*event          // recycled event records
+	ncancelled int               // cancelled events still sitting in the queue
+	nfired     uint64            // events fired by Step over the simulator's lifetime
+	maxQueue   int               // high-water mark of the event queue length
+	sources    []*countingSource // every RNG source handed out, in creation order
 }
 
 // New returns a Simulator whose randomness derives from seed.
 func New(seed int64) *Simulator {
-	return &Simulator{seed: seed, rng: rand.New(rand.NewSource(seed))}
+	s := &Simulator{seed: seed}
+	src := &countingSource{src: rand.NewSource(seed).(rand64), streamNo: 0}
+	s.sources = append(s.sources, src)
+	s.rng = rand.New(src)
+	return s
 }
 
 // Now reports the current simulation time.
@@ -253,7 +258,9 @@ func (s *Simulator) NewRand() *rand.Rand {
 	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
 	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
 	z ^= z >> 31
-	return rand.New(rand.NewSource(int64(z)))
+	src := &countingSource{src: rand.NewSource(int64(z)).(rand64), streamNo: s.streams}
+	s.sources = append(s.sources, src)
+	return rand.New(src)
 }
 
 // SetNextStream positions the stream counter so the next NewRand call

@@ -1,0 +1,50 @@
+package snapshot
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode holds the fail-closed line for snapshot files: whatever bytes
+// arrive — truncated, bit-flipped, version-bumped, or adversarial length
+// fields — Decode must return a typed error or a snapshot that re-encodes
+// canonically. It must never panic, and it must never hand back state that
+// differs from what a valid encoding of the decoded struct would carry
+// (silent divergence).
+//
+// The checked-in corpus (testdata/fuzz/FuzzDecode) seeds the interesting
+// shapes: a valid snapshot, each typed failure class, and boundary sizes.
+func FuzzDecode(f *testing.F) {
+	valid := sample().Encode()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("MACAWSNP"))
+	f.Add(valid[:len(valid)-9]) // CRC sheared off
+	bump := append([]byte(nil), valid...)
+	bump[8] = 2 // version bump
+	f.Add(bump)
+	flip := append([]byte(nil), valid...)
+	flip[len(flip)/2] ^= 0x40
+	f.Add(flip)
+	f.Add(append(append([]byte(nil), valid...), 0x00)) // trailing byte
+	huge := append([]byte(nil), valid...)
+	huge[len(huge)-12] = 0xFF // inflate the state length field
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Decode(data)
+		if err != nil {
+			if s != nil {
+				t.Fatal("Decode returned both a snapshot and an error")
+			}
+			return
+		}
+		// A successful decode must round-trip to the same bytes it came
+		// from: the format has exactly one encoding per snapshot, so
+		// "decoded fine but re-encodes differently" would mean two files
+		// restore to different states while both claiming validity.
+		if !bytes.Equal(s.Encode(), data) {
+			t.Fatalf("decode/encode not canonical:\n in:  %x\n out: %x", data, s.Encode())
+		}
+	})
+}

@@ -1,0 +1,141 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc64"
+	"os"
+	"sort"
+	"sync"
+)
+
+// Manifest is the sweep-resume ledger: the gob-encoded result payload of
+// every completed run, keyed by "label|configHash|seed". It is flushed
+// atomically after each completed run, so however a sweep dies — SIGKILL
+// included — every run that finished before the crash is preserved and a
+// rerun skips straight past it. gob round-trips float64 bit-exactly, so a
+// resumed sweep's rendered tables are byte-identical to an uninterrupted
+// one.
+//
+// The file carries the same fail-closed armor as snapshots (magic, version,
+// CRC): a torn or corrupted manifest decodes to a typed error and the
+// caller starts a fresh ledger — losing memoized work, never correctness.
+type Manifest struct {
+	path string
+
+	mu      sync.Mutex
+	entries map[string][]byte
+}
+
+var manifestMagic = [8]byte{'M', 'A', 'C', 'A', 'W', 'M', 'A', 'N'}
+
+// OpenManifest loads the manifest at path, or returns an empty one bound to
+// path when the file does not exist. A malformed file returns a typed error
+// (ErrBadMagic/ErrVersion/ErrChecksum/ErrTruncated) and a fresh empty
+// manifest the caller may choose to continue with.
+func OpenManifest(path string) (*Manifest, error) {
+	m := &Manifest{path: path, entries: make(map[string][]byte)}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return m, nil
+	}
+	if err != nil {
+		return m, err
+	}
+	if err := m.decode(data); err != nil {
+		m.entries = make(map[string][]byte)
+		return m, err
+	}
+	return m, nil
+}
+
+// Key builds the canonical manifest key for one run.
+func Key(run string, configHash uint64, seed int64) string {
+	return fmt.Sprintf("%s|%#x|%d", run, configHash, seed)
+}
+
+// Get returns the payload recorded for key, if any.
+func (m *Manifest) Get(key string) ([]byte, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, ok := m.entries[key]
+	return p, ok
+}
+
+// Len reports the number of completed runs recorded.
+func (m *Manifest) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.entries)
+}
+
+// Put records a completed run's payload and flushes the manifest to disk
+// atomically (when the manifest is file-backed). Safe for concurrent use —
+// parallel sweep workers record results as they finish.
+func (m *Manifest) Put(key string, payload []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.entries[key] = append([]byte(nil), payload...)
+	if m.path == "" {
+		return nil
+	}
+	return writeFileAtomic(m.path, m.encode())
+}
+
+// encode renders the manifest: magic, version, gob of the entry map, CRC.
+// Must be called with mu held.
+func (m *Manifest) encode() []byte {
+	var payload bytes.Buffer
+	// gob map order is nondeterministic; encode as sorted pairs so the
+	// file is canonical.
+	keys := make([]string, 0, len(m.entries))
+	for k := range m.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	pairs := make([]manifestPair, len(keys))
+	for i, k := range keys {
+		pairs[i] = manifestPair{K: k, V: m.entries[k]}
+	}
+	if err := gob.NewEncoder(&payload).Encode(pairs); err != nil {
+		panic(fmt.Sprintf("snapshot: manifest encode: %v", err)) // in-memory encode of concrete types cannot fail
+	}
+	b := make([]byte, 0, 8+4+payload.Len()+8)
+	b = append(b, manifestMagic[:]...)
+	b = binary.LittleEndian.AppendUint32(b, Version)
+	b = append(b, payload.Bytes()...)
+	b = binary.LittleEndian.AppendUint64(b, crc64.Checksum(b, crcTable))
+	return b
+}
+
+type manifestPair struct {
+	K string
+	V []byte
+}
+
+// decode parses an encoded manifest, failing closed with typed errors.
+func (m *Manifest) decode(data []byte) error {
+	if len(data) < len(manifestMagic)+4+8 {
+		return ErrTruncated
+	}
+	if string(data[:len(manifestMagic)]) != string(manifestMagic[:]) {
+		return ErrBadMagic
+	}
+	if v := binary.LittleEndian.Uint32(data[len(manifestMagic):]); v != Version {
+		return fmt.Errorf("%w: got %d, want %d", ErrVersion, v, Version)
+	}
+	body, trailer := data[:len(data)-8], data[len(data)-8:]
+	if crc64.Checksum(body, crcTable) != binary.LittleEndian.Uint64(trailer) {
+		return ErrChecksum
+	}
+	var pairs []manifestPair
+	if err := gob.NewDecoder(bytes.NewReader(body[len(manifestMagic)+4:])).Decode(&pairs); err != nil {
+		return fmt.Errorf("%w: %v", ErrTruncated, err)
+	}
+	for _, p := range pairs {
+		m.entries[p.K] = p.V
+	}
+	return nil
+}

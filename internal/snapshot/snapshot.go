@@ -1,0 +1,307 @@
+// Package snapshot implements deterministic checkpoint/restore for the
+// simulator (DESIGN.md §14).
+//
+// A snapshot is a *logical* checkpoint: the complete, canonical state
+// inventory of a run at a virtual-time barrier (event heap ordering keys,
+// RNG stream cursors, every MAC FSM and backoff/ESN table, transport and
+// queue state, phy medium state, fault-injector trajectories, oracle
+// expectations) together with the parameters needed to rebuild the run
+// (table, run label, seed, durations, audit flag). Restore rebuilds the
+// network from those parameters, replays deterministically to the barrier,
+// and byte-compares the recaptured inventory against the stored one — any
+// divergence fails closed, naming the first differing layer, before a
+// single post-barrier event fires. Because a run is a pure function of
+// (layout, factory, config, seed) and the engine fires identical event
+// sequences whether or not it pauses at barriers, a verified restore's
+// continuation is bit-identical to the uninterrupted run.
+//
+// The event heap cannot be serialized positionally — pooled event records
+// hold Go function values — which is why restore is replay-plus-verify
+// rather than memcpy-in. What makes this safe rather than wishful is the
+// inventory's breadth: the heap dump pins every pending callback's total
+// ordering key and symbol, and the RNG cursors pin every generator's
+// position, so two histories that agree on the inventory agree on all
+// future behavior.
+//
+// File format (little-endian, CRC-trailed, versioned):
+//
+//	magic   [8]byte "MACAWSNP"
+//	version u32
+//	cfgHash u64   FNV-64a of the canonical config description
+//	seed    i64
+//	barrier i64   virtual time of capture
+//	total   i64   run length (rebuild parameter)
+//	warmup  i64   warmup length (rebuild parameter)
+//	audit   u8    whether the run is oracle-audited
+//	table   u16-len string (generator id, e.g. "table4" or "chaos")
+//	run     u16-len string (run label, e.g. "table4/MACAW/p=0.1")
+//	state   u32-len bytes (the canonical state inventory)
+//	crc     u64   CRC-64/ECMA of everything above
+//
+// Every decode failure is a typed error (ErrBadMagic, ErrVersion,
+// ErrTruncated, ErrChecksum); decode never panics, whatever the input —
+// the fuzz target in this package holds that line.
+package snapshot
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc64"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"macaw/internal/sim"
+)
+
+// Typed decode/verify failures. Callers match with errors.Is and fall back
+// to a fresh run; none of these is ever a panic.
+var (
+	// ErrBadMagic means the file is not a snapshot at all.
+	ErrBadMagic = errors.New("snapshot: bad magic")
+	// ErrVersion means the snapshot was written by an incompatible format
+	// version.
+	ErrVersion = errors.New("snapshot: unsupported format version")
+	// ErrTruncated means the file ends before the encoded structure does
+	// (or carries trailing garbage).
+	ErrTruncated = errors.New("snapshot: truncated or malformed")
+	// ErrChecksum means the payload does not match its CRC trailer.
+	ErrChecksum = errors.New("snapshot: checksum mismatch")
+	// ErrMismatch means a structurally valid snapshot describes a
+	// different run (config hash, seed, or label) than the one restoring.
+	ErrMismatch = errors.New("snapshot: run/config mismatch")
+	// ErrDiverged means replay reached the barrier with a state inventory
+	// that differs from the stored one — the restore must not continue.
+	ErrDiverged = errors.New("snapshot: replayed state diverged")
+)
+
+// Version is the current format version.
+const Version = 1
+
+var magic = [8]byte{'M', 'A', 'C', 'A', 'W', 'S', 'N', 'P'}
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// Snapshot is one decoded checkpoint.
+type Snapshot struct {
+	ConfigHash uint64
+	Seed       int64
+	Barrier    sim.Time
+	Total      sim.Duration
+	Warmup     sim.Duration
+	Audit      bool
+	Table      string // generator id, resolves the rebuild recipe
+	Run        string // run label within the generator
+	State      []byte // canonical state inventory at Barrier
+}
+
+// ConfigHash returns the FNV-64a hash of a canonical config description
+// string; the description must include every parameter that affects the
+// run's event history.
+func ConfigHash(desc string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(desc))
+	return h.Sum64()
+}
+
+// Encode renders the snapshot in the versioned container format.
+func (s *Snapshot) Encode() []byte {
+	n := 8 + 4 + 8 + 8 + 8 + 8 + 8 + 1 + 2 + len(s.Table) + 2 + len(s.Run) + 4 + len(s.State) + 8
+	b := make([]byte, 0, n)
+	b = append(b, magic[:]...)
+	b = binary.LittleEndian.AppendUint32(b, Version)
+	b = binary.LittleEndian.AppendUint64(b, s.ConfigHash)
+	b = binary.LittleEndian.AppendUint64(b, uint64(s.Seed))
+	b = binary.LittleEndian.AppendUint64(b, uint64(s.Barrier))
+	b = binary.LittleEndian.AppendUint64(b, uint64(s.Total))
+	b = binary.LittleEndian.AppendUint64(b, uint64(s.Warmup))
+	if s.Audit {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = appendString16(b, s.Table)
+	b = appendString16(b, s.Run)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(s.State)))
+	b = append(b, s.State...)
+	b = binary.LittleEndian.AppendUint64(b, crc64.Checksum(b, crcTable))
+	return b
+}
+
+func appendString16(b []byte, s string) []byte {
+	if len(s) > 0xFFFF {
+		s = s[:0xFFFF]
+	}
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+// cursor is a bounds-checked reader over the encoded bytes; every read
+// failure surfaces as ErrTruncated instead of a slice panic.
+type cursor struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (c *cursor) take(n int) []byte {
+	if c.err != nil {
+		return nil
+	}
+	if n < 0 || c.off+n > len(c.b) || c.off+n < c.off {
+		c.err = ErrTruncated
+		return nil
+	}
+	out := c.b[c.off : c.off+n]
+	c.off += n
+	return out
+}
+
+func (c *cursor) u16() uint16 {
+	if b := c.take(2); b != nil {
+		return binary.LittleEndian.Uint16(b)
+	}
+	return 0
+}
+
+func (c *cursor) u32() uint32 {
+	if b := c.take(4); b != nil {
+		return binary.LittleEndian.Uint32(b)
+	}
+	return 0
+}
+
+func (c *cursor) u64() uint64 {
+	if b := c.take(8); b != nil {
+		return binary.LittleEndian.Uint64(b)
+	}
+	return 0
+}
+
+func (c *cursor) str16() string { return string(c.take(int(c.u16()))) }
+
+// Decode parses a snapshot, failing closed with a typed error on any
+// malformation: wrong magic, unknown version, short or oversized payload,
+// or checksum mismatch. It never panics.
+func Decode(data []byte) (*Snapshot, error) {
+	if len(data) < len(magic) {
+		return nil, ErrTruncated
+	}
+	if string(data[:len(magic)]) != string(magic[:]) {
+		return nil, ErrBadMagic
+	}
+	if len(data) < len(magic)+4+8 {
+		return nil, ErrTruncated
+	}
+	if v := binary.LittleEndian.Uint32(data[len(magic):]); v != Version {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrVersion, v, Version)
+	}
+	// The CRC trailer covers everything before it; check it before
+	// trusting any length field.
+	body, trailer := data[:len(data)-8], data[len(data)-8:]
+	if crc64.Checksum(body, crcTable) != binary.LittleEndian.Uint64(trailer) {
+		return nil, ErrChecksum
+	}
+	c := &cursor{b: body, off: len(magic) + 4}
+	s := &Snapshot{}
+	s.ConfigHash = c.u64()
+	s.Seed = int64(c.u64())
+	s.Barrier = sim.Time(c.u64())
+	s.Total = sim.Duration(c.u64())
+	s.Warmup = sim.Duration(c.u64())
+	if a := c.take(1); a != nil {
+		s.Audit = a[0] != 0
+	}
+	s.Table = c.str16()
+	s.Run = c.str16()
+	s.State = append([]byte(nil), c.take(int(c.u32()))...)
+	if c.err != nil {
+		return nil, c.err
+	}
+	if c.off != len(body) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrTruncated, len(body)-c.off)
+	}
+	return s, nil
+}
+
+// Verify byte-compares a freshly captured state inventory against the
+// snapshot's stored one. On divergence it returns ErrDiverged naming the
+// first differing inventory line — the layer whose replay went wrong —
+// so triage starts at the faulty subsystem instead of at "the output
+// differs".
+func (s *Snapshot) Verify(state []byte) error {
+	if string(state) == string(s.State) {
+		return nil
+	}
+	wantLines := strings.Split(string(s.State), "\n")
+	gotLines := strings.Split(string(state), "\n")
+	for i := range wantLines {
+		if i >= len(gotLines) {
+			return fmt.Errorf("%w at %q: replay state ends %d lines early", ErrDiverged, wantLines[i], len(wantLines)-len(gotLines))
+		}
+		if wantLines[i] != gotLines[i] {
+			return fmt.Errorf("%w at line %d:\n  snapshot: %q\n  replay:   %q", ErrDiverged, i+1, wantLines[i], gotLines[i])
+		}
+	}
+	return fmt.Errorf("%w: replay state has %d extra lines, first %q", ErrDiverged, len(gotLines)-len(wantLines), gotLines[len(wantLines)])
+}
+
+// Matches checks that the snapshot describes the run identified by (hash,
+// seed, run label), returning ErrMismatch naming the first disagreeing
+// field otherwise.
+func (s *Snapshot) Matches(configHash uint64, seed int64, run string) error {
+	switch {
+	case s.Run != run:
+		return fmt.Errorf("%w: snapshot is of run %q, not %q", ErrMismatch, s.Run, run)
+	case s.Seed != seed:
+		return fmt.Errorf("%w: snapshot seed %d, run seed %d", ErrMismatch, s.Seed, seed)
+	case s.ConfigHash != configHash:
+		return fmt.Errorf("%w: config hash %#x, run config hash %#x", ErrMismatch, s.ConfigHash, configHash)
+	}
+	return nil
+}
+
+// WriteFile atomically writes the snapshot to path (tmp + rename), so a
+// crash mid-write never leaves a torn file where a valid checkpoint was.
+func WriteFile(path string, s *Snapshot) error {
+	return writeFileAtomic(path, s.Encode())
+}
+
+// ReadFile reads and decodes a snapshot file.
+func ReadFile(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(data)
+}
+
+// writeFileAtomic writes data to path via a same-directory temp file and
+// rename.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".snap-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return os.Rename(name, path)
+}
+
+// FileName returns the canonical snapshot file name for a run label at a
+// barrier: label with separators flattened, seed, and barrier nanoseconds.
+func FileName(run string, seed int64, barrier sim.Time) string {
+	r := strings.NewReplacer("/", "_", " ", "_", "=", "-")
+	return fmt.Sprintf("%s-seed%d-b%d.snap", r.Replace(run), seed, barrier)
+}

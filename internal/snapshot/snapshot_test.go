@@ -1,0 +1,177 @@
+package snapshot
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sample() *Snapshot {
+	return &Snapshot{
+		ConfigHash: ConfigHash("v1|table=table4|run=table4/MACAW|total=120000000000|warmup=10000000000|seed=7|audit=true"),
+		Seed:       7,
+		Barrier:    60_000_000_000,
+		Total:      120_000_000_000,
+		Warmup:     10_000_000_000,
+		Audit:      true,
+		Table:      "table4",
+		Run:        "table4/MACAW",
+		State:      []byte("sim now=60000000000 seq=12345\nrng stream=0 draws=17\nheap n=2\n"),
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	s := sample()
+	got, err := Decode(s.Encode())
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(s, got) {
+		t.Fatalf("round trip mismatch:\n  in:  %+v\n  out: %+v", s, got)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	s := sample()
+	path := filepath.Join(t.TempDir(), FileName(s.Run, s.Seed, s.Barrier))
+	if err := WriteFile(path, s); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if !reflect.DeepEqual(s, got) {
+		t.Fatal("file round trip mismatch")
+	}
+}
+
+func TestDecodeFailsClosed(t *testing.T) {
+	enc := sample().Encode()
+
+	t.Run("bad magic", func(t *testing.T) {
+		bad := append([]byte(nil), enc...)
+		bad[0] ^= 0xFF
+		if _, err := Decode(bad); !errors.Is(err, ErrBadMagic) {
+			t.Fatalf("got %v, want ErrBadMagic", err)
+		}
+	})
+	t.Run("version bump", func(t *testing.T) {
+		bad := append([]byte(nil), enc...)
+		bad[8] = 99
+		if _, err := Decode(bad); !errors.Is(err, ErrVersion) {
+			t.Fatalf("got %v, want ErrVersion", err)
+		}
+	})
+	t.Run("every truncation", func(t *testing.T) {
+		for n := 0; n < len(enc); n++ {
+			_, err := Decode(enc[:n])
+			if err == nil {
+				t.Fatalf("truncation to %d bytes decoded successfully", n)
+			}
+		}
+	})
+	t.Run("every bit flip is detected", func(t *testing.T) {
+		// Any single-bit corruption must fail (the CRC guarantees it).
+		for i := range enc {
+			bad := append([]byte(nil), enc...)
+			bad[i] ^= 0x10
+			if _, err := Decode(bad); err == nil {
+				t.Fatalf("bit flip at byte %d decoded successfully", i)
+			}
+		}
+	})
+	t.Run("trailing garbage", func(t *testing.T) {
+		if _, err := Decode(append(append([]byte(nil), enc...), 0xAB)); err == nil {
+			t.Fatal("trailing garbage decoded successfully")
+		}
+	})
+}
+
+func TestVerify(t *testing.T) {
+	s := sample()
+	if err := s.Verify(s.State); err != nil {
+		t.Fatalf("identical state: %v", err)
+	}
+	div := []byte("sim now=60000000000 seq=12345\nrng stream=0 draws=18\nheap n=2\n")
+	err := s.Verify(div)
+	if !errors.Is(err, ErrDiverged) {
+		t.Fatalf("got %v, want ErrDiverged", err)
+	}
+	// The error must name the diverging layer line.
+	if want := "rng stream=0"; !strings.Contains(err.Error(), want) {
+		t.Fatalf("divergence error %q does not name the differing line %q", err, want)
+	}
+}
+
+func TestMatches(t *testing.T) {
+	s := sample()
+	if err := s.Matches(s.ConfigHash, s.Seed, s.Run); err != nil {
+		t.Fatalf("matching run: %v", err)
+	}
+	for _, tc := range []struct {
+		name string
+		err  error
+	}{
+		{"wrong run", s.Matches(s.ConfigHash, s.Seed, "table4/MACA")},
+		{"wrong seed", s.Matches(s.ConfigHash, 8, s.Run)},
+		{"wrong hash", s.Matches(s.ConfigHash+1, s.Seed, s.Run)},
+	} {
+		if !errors.Is(tc.err, ErrMismatch) {
+			t.Fatalf("%s: got %v, want ErrMismatch", tc.name, tc.err)
+		}
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "manifest.bin")
+	m, err := OpenManifest(path)
+	if err != nil {
+		t.Fatalf("OpenManifest: %v", err)
+	}
+	key := Key("table1/MACAW", 0xabcd, 1)
+	if err := m.Put(key, []byte("payload-1")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := m.Put(Key("table2/MACA", 0xabcd, 1), []byte("payload-2")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+
+	re, err := OpenManifest(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if re.Len() != 2 {
+		t.Fatalf("reopened manifest has %d entries, want 2", re.Len())
+	}
+	got, ok := re.Get(key)
+	if !ok || string(got) != "payload-1" {
+		t.Fatalf("Get(%q) = %q, %t", key, got, ok)
+	}
+}
+
+func TestManifestCorruptionFailsClosed(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "manifest.bin")
+	m, _ := OpenManifest(path)
+	if err := m.Put(Key("r", 1, 1), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenManifest(path)
+	if err == nil {
+		t.Fatal("corrupted manifest opened without error")
+	}
+	if re == nil || re.Len() != 0 {
+		t.Fatal("corrupted manifest must yield a fresh empty ledger")
+	}
+}

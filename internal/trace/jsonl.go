@@ -154,6 +154,23 @@ func (s *JSONLSink) Dropped() int {
 	return s.dropped
 }
 
+// WriteRunJSONL writes one stored run's events as JSON Lines, each stamped
+// with the run label. Time-travel triage replays a whole table but wants
+// only the restored run's tail.
+func (s *JSONLSink) WriteRunJSONL(w io.Writer, run string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range s.runs[run] {
+		e.Run = run
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
 // WriteJSONL writes every stored run, sorted by run label, as JSON Lines.
 func (s *JSONLSink) WriteJSONL(w io.Writer) error {
 	s.mu.Lock()

@@ -1,0 +1,47 @@
+package transport
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file is the transport layer's contribution to the snapshot state
+// inventory (DESIGN.md §14): sender windows, RTT estimator state, pending
+// retransmission timers, and the receiver's reassembly buffer (sorted, so
+// the dump is canonical despite the map).
+
+// AppendState appends the sender's full state.
+func (u *UDPSender) AppendState(b []byte) []byte {
+	return fmt.Appendf(b, "udpsend dst=%d stream=%d next=%d sent=%d\n", u.dst, u.stream, u.next, u.sent)
+}
+
+// AppendState appends the receiver's full state.
+func (u *UDPReceiver) AppendState(b []byte) []byte {
+	return fmt.Appendf(b, "udprecv stream=%d received=%d\n", u.stream, u.received)
+}
+
+// AppendState appends the sender's full state, including the RTT estimator
+// and the retransmission timer's deadline (the timer event itself lives in
+// the engine dump).
+func (t *TCPSender) AppendState(b []byte) []byte {
+	b = fmt.Appendf(b, "tcpsend dst=%d stream=%d backlog=%d next=%d una=%d srtt=%d rttvar=%d haveRTT=%t rto=%d rtoBackoff=%d dupAcks=%d\n",
+		t.dst, t.stream, t.backlog, t.nextSeq, t.sndUna, t.srtt, t.rttvar, t.haveRTT, t.rto, t.rtoBackoff, t.dupAcks)
+	b = fmt.Appendf(b, "tcpsend.sample seq=%d at=%d valid=%t timer=%d timerCancelled=%t\n",
+		t.sampleSeq, t.sampleAt, t.sampleValid, t.timer.When(), t.timer.Cancelled())
+	b = fmt.Appendf(b, "tcpsend.stats sent=%d rexmit=%d timeouts=%d fast=%d acks=%d\n",
+		t.stats.Sent, t.stats.Retransmits, t.stats.Timeouts, t.stats.FastRetransmits, t.stats.AcksReceived)
+	return b
+}
+
+// AppendState appends the receiver's full state with the reassembly buffer
+// in ascending sequence order.
+func (r *TCPReceiver) AppendState(b []byte) []byte {
+	keys := make([]uint32, 0, len(r.buffered))
+	for k := range r.buffered {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	b = fmt.Appendf(b, "tcprecv stream=%d expected=%d delivered=%d dups=%d buffered=%v\n",
+		r.stream, r.expected, r.delivered, r.dups, keys)
+	return b
+}

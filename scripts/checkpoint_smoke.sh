@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Checkpoint/restore smoke (DESIGN.md §14), as the user drives it:
+#
+#   1. a checkpointed sweep renders byte-identically to an uninterrupted one
+#   2. SIGTERM mid-sweep flushes a final snapshot and exits 130
+#   3. -restore on that snapshot finishes the run to the same table bytes
+#   4. re-running the killed sweep resumes past the manifest's completed
+#      runs and renders byte-identically to the uninterrupted sweep
+#   5. macawtrace -from-checkpoint emits a summarizable time-travel trace
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+dir="$(mktemp -d)"
+trap 'rm -rf "$dir"' EXIT
+
+go build -o "$dir/macawsim" ./cmd/macawsim
+go build -o "$dir/macawtrace" ./cmd/macawtrace
+
+echo "== 1. checkpointing is passive =="
+"$dir/macawsim" -table all -total 30 -warmup 5 -audit > "$dir/straight.txt"
+"$dir/macawsim" -table all -total 30 -warmup 5 -audit \
+  -checkpoint-every 10 -checkpoint-dir "$dir/ck" > "$dir/ckpt.txt"
+diff -u "$dir/straight.txt" "$dir/ckpt.txt"
+
+echo "== 2. SIGTERM flushes a final checkpoint =="
+mkdir "$dir/ck2"
+"$dir/macawsim" -table all -total 120 -warmup 10 \
+  -checkpoint-every 10 -checkpoint-dir "$dir/ck2" \
+  > "$dir/int.txt" 2> "$dir/int_err.txt" & pid=$!
+sleep 3
+kill -TERM "$pid" 2>/dev/null || true
+rc=0; wait "$pid" || rc=$?
+if [ "$rc" -ne 130 ]; then
+  echo "expected exit 130 after SIGTERM, got $rc" >&2
+  cat "$dir/int_err.txt" >&2
+  exit 1
+fi
+grep -q "final checkpoint" "$dir/int_err.txt"
+snap="$(sed -n 's/.*final checkpoint: //p' "$dir/int_err.txt")"
+echo "killed at: $snap"
+
+echo "== 3. restore finishes the interrupted run to identical bytes =="
+table="$(basename "$snap" | cut -d_ -f1)"
+"$dir/macawsim" -table "$table" -total 120 -warmup 10 > "$dir/tab_straight.txt"
+"$dir/macawsim" -restore "$snap" > "$dir/tab_restored.txt"
+# Skip the two header lines: the restored header names the snapshot barrier.
+diff -u <(tail -n +3 "$dir/tab_straight.txt") <(tail -n +3 "$dir/tab_restored.txt")
+
+echo "== 4. the killed sweep resumes from its manifest =="
+"$dir/macawsim" -table all -total 120 -warmup 10 \
+  -checkpoint-every 10 -checkpoint-dir "$dir/ck2" \
+  > "$dir/resumed.txt" 2> "$dir/resumed_err.txt"
+grep -q "resuming" "$dir/resumed_err.txt"
+"$dir/macawsim" -table all -total 120 -warmup 10 > "$dir/full.txt"
+diff -u "$dir/full.txt" "$dir/resumed.txt"
+
+echo "== 5. time-travel trace from a checkpoint =="
+"$dir/macawtrace" -from-checkpoint "$snap" > "$dir/tail.jsonl" 2> "$dir/trace_err.txt"
+[ -s "$dir/tail.jsonl" ]
+"$dir/macawtrace" -summarize "$dir/tail.jsonl" > /dev/null
+
+echo "checkpoint smoke: OK"
