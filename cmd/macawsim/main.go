@@ -30,6 +30,15 @@
 // every run; -tracejson FILE writes every run's MAC-internal events as JSON
 // Lines for cmd/macawtrace -summarize. Both collectors are passive: the
 // table output is byte-identical with or without them, at any -jobs value.
+// -sweep "kind=v1,v2;…" replaces the table set with a warm-started parameter
+// sweep: each protocol simulates its warmup once, and that warmed network is
+// forked — state adopted and byte-verified — into one variant per typed
+// delta, which applies its parameter change at the warmup barrier and runs
+// only the tail. The rendered table is byte-identical to -sweep-cold, which
+// simulates every variant from scratch. -warm-cache DIR persists each warm
+// state as a snapshot keyed by the delta-free configuration: later sweeps
+// byte-verify their warmup against it (divergence fails closed), and stale
+// or corrupt entries are rewarmed and overwritten.
 package main
 
 import (
@@ -70,6 +79,10 @@ func main() {
 	checkEvery := flag.Float64("checkpoint-every", 0, "write a snapshot of every run each N simulated seconds (0 with -checkpoint-dir = total/8)")
 	checkDir := flag.String("checkpoint-dir", "", "directory for snapshot files and the completed-run manifest (sweeps resume past runs already in the manifest)")
 	restorePath := flag.String("restore", "", "restore this snapshot file: replay its run to the barrier, verify bit-identical state, and continue (ignores -table)")
+	sweepSpec := flag.String("sweep", "", "run a warm-started parameter sweep instead of the tables: \"kind=v1,v2[;kind2=v3,…]\" over typed deltas (backoff.min, backoff.max, mild.inc, mild.dec, load.rate, retry.limit); one warmup per protocol is forked into every variant (ignores -table)")
+	sweepCold := flag.Bool("sweep-cold", false, "with -sweep, run every variant from scratch instead of forking a warmed network (same table, no speedup; for measuring the warm-start win)")
+	warmCache := flag.String("warm-cache", "", "with -sweep, directory of warm-state snapshots: warmed state is byte-verified against the cached entry (divergence fails closed); missing or corrupt entries are rewarmed and rewritten")
+	warmCacheMax := flag.Int("warm-cache-max", 0, "with -warm-cache, keep at most N warm snapshots, evicting the oldest (0 = unbounded)")
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -131,6 +144,13 @@ func main() {
 
 	if *restorePath != "" {
 		restoreAndContinue(*restorePath, cfg, *format)
+		return
+	}
+
+	if *sweepSpec != "" {
+		runSweep(cfg.WithRunner(experiments.NewRunner(*jobs)), *sweepSpec, experiments.SweepOptions{
+			CacheDir: *warmCache, CacheMax: *warmCacheMax, Cold: *sweepCold,
+		}, *format)
 		return
 	}
 
@@ -244,6 +264,31 @@ func restoreAndContinue(path string, cfg experiments.RunConfig, format string) {
 	}
 	fmt.Printf("MACAW reproduction — restored %s at t=%gs, seed %d\n\n",
 		snap.Run, snap.Barrier.Seconds(), snap.Seed)
+	fmt.Println(tab.Render())
+}
+
+// runSweep implements -sweep: parse the variant spec, execute the sweep
+// grid (warm-started unless -sweep-cold), and render the variants-by-
+// protocol table with a one-line execution summary on stderr.
+func runSweep(cfg experiments.RunConfig, spec string, opts experiments.SweepOptions, format string) {
+	variants, err := experiments.ParseSweepSpec(spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "macawsim: -sweep: %v\n", err)
+		os.Exit(2)
+	}
+	tab, info, err := experiments.RunSweep(cfg, variants, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "macawsim: -sweep: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "macawsim: sweep: %d variants x %d protocols (%d warmups, %d forks, %d cold runs, cache %d hits / %d writes)\n",
+		info.Variants, info.Protocols, info.Warmups, info.Forks, info.ColdRuns, info.CacheHits, info.CacheWrites)
+	if format == "csv" {
+		fmt.Printf("# %s\n%s\n", tab.ID, tab.CSV())
+		return
+	}
+	fmt.Printf("MACAW reproduction — %gs runs, %gs warmup, seed %d\n\n",
+		cfg.Total.Seconds(), cfg.Warmup.Seconds(), cfg.Seed)
 	fmt.Println(tab.Render())
 }
 

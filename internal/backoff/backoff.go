@@ -53,19 +53,40 @@ func (b BEB) Max() int { return b.BOMax }
 func (BEB) Name() string { return "BEB" }
 
 // MILD is multiplicative increase, linear decrease: Finc(x) =
-// min(1.5x, BOmax), Fdec(x) = max(x-1, BOmin) (§3.1).
+// min(1.5x, BOmax), Fdec(x) = max(x-1, BOmin) (§3.1). The increase factor
+// and decrease step are parameterized for sweep experiments; the zero values
+// select the paper's 1.5 and 1 exactly.
 type MILD struct {
 	BOMin, BOMax int
+	// IncNum/IncDen override the multiplicative increase factor:
+	// Finc(x) = min(ceil(x·IncNum/IncDen), BOmax). Both zero selects the
+	// paper's 3/2.
+	IncNum, IncDen int
+	// DecStep overrides the linear decrease step: Fdec(x) =
+	// max(x-DecStep, BOmin). Zero selects the paper's 1.
+	DecStep int
 }
 
 // NewMILD returns MILD with the paper's bounds.
-func NewMILD() MILD { return MILD{DefaultMin, DefaultMax} }
+func NewMILD() MILD { return MILD{BOMin: DefaultMin, BOMax: DefaultMax} }
 
 // Inc implements Strategy.
-func (m MILD) Inc(x int) int { return min(x*3/2+x%2, m.BOMax) } // ceil(1.5x)
+func (m MILD) Inc(x int) int {
+	num, den := m.IncNum, m.IncDen
+	if num == 0 || den == 0 {
+		num, den = 3, 2
+	}
+	return min((x*num+den-1)/den, m.BOMax) // ceil(x·num/den)
+}
 
 // Dec implements Strategy.
-func (m MILD) Dec(x int) int { return max(x-1, m.BOMin) }
+func (m MILD) Dec(x int) int {
+	step := m.DecStep
+	if step == 0 {
+		step = 1
+	}
+	return max(x-step, m.BOMin)
+}
 
 // Min implements Strategy.
 func (m MILD) Min() int { return m.BOMin }

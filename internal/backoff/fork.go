@@ -1,0 +1,62 @@
+package backoff
+
+import (
+	"fmt"
+
+	"macaw/internal/frame"
+)
+
+// This file is the backoff layer's side of warm-started forking (DESIGN.md
+// §15): a freshly built policy adopts the counters of a warmed twin. The
+// strategy parameters must already match — they are build-time configuration,
+// and a fork is only valid against an identically built network.
+
+// Adopter is implemented by policies that support warm-started forking.
+type Adopter interface {
+	// AdoptFrom copies the warm twin's counters into the receiver, failing
+	// closed when the two policies are observably different shapes.
+	AdoptFrom(w Policy) error
+}
+
+// Adopt copies w's state into p when both sides support forking.
+func Adopt(p, w Policy) error {
+	a, ok := p.(Adopter)
+	if !ok {
+		return fmt.Errorf("backoff: adopt: policy %T does not support forking", p)
+	}
+	return a.AdoptFrom(w)
+}
+
+// AdoptFrom implements Adopter.
+func (s *Single) AdoptFrom(w Policy) error {
+	ws, ok := w.(*Single)
+	if !ok {
+		return fmt.Errorf("backoff: adopt: policy is %T here vs %T in warm twin", s, w)
+	}
+	if s.strat != ws.strat || s.copy != ws.copy {
+		return fmt.Errorf("backoff: adopt: single policy parameters differ (%+v copy=%t here vs %+v copy=%t)",
+			s.strat, s.copy, ws.strat, ws.copy)
+	}
+	s.value = ws.value
+	return nil
+}
+
+// AdoptFrom implements Adopter. Peer entries are deep-copied — they are
+// plain counters — so the twins never alias each other's tables.
+func (p *PerDest) AdoptFrom(w Policy) error {
+	wp, ok := w.(*PerDest)
+	if !ok {
+		return fmt.Errorf("backoff: adopt: policy is %T here vs %T in warm twin", p, w)
+	}
+	if p.strat != wp.strat || p.Alpha != wp.Alpha {
+		return fmt.Errorf("backoff: adopt: per-dest policy parameters differ (%+v alpha=%d here vs %+v alpha=%d)",
+			p.strat, p.Alpha, wp.strat, wp.Alpha)
+	}
+	p.My = wp.My
+	p.peers = make(map[frame.NodeID]*Peer, len(wp.peers))
+	for id, pe := range wp.peers {
+		cp := *pe
+		p.peers[id] = &cp
+	}
+	return nil
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"macaw/internal/backoff"
+	"macaw/internal/traffic"
+)
+
+// This file applies typed parameter deltas at a run barrier (DESIGN.md §15).
+// A delta is the thing a warm-started sweep varies: one warmed network is
+// forked into many variants, each applying a different delta at the same
+// virtual time. Correctness rests on the delta being applied through this
+// single code path on both the cold and the warm side — the continuation is
+// then a pure function of (state at barrier, delta), and the warm fork's
+// byte-verified state makes the two sides identical.
+//
+// Delta kinds:
+//
+//	backoff.min   BOmin for every station's strategy (BEB and MILD)
+//	backoff.max   BOmax for every station's strategy (BEB and MILD)
+//	mild.inc      MILD increase factor Finc(x) = ceil(x·v) (no-op on BEB)
+//	mild.dec      MILD decrease step Fdec(x) = max(x-v, BOmin) (no-op on BEB)
+//	load.rate     CBR offered load, packets/second, every stream
+//	retry.limit   per-packet retry limit at every station
+//
+// Kinds inapplicable to a protocol (mild.* over BEB, any backoff kind over
+// the token scheme, retry.limit at a station with no retry counter) are
+// deterministic no-ops — deterministically nothing on both sides — never
+// silent partial applications. Unknown kinds and kinds that would invalidate
+// captured state (fault.*) fail closed with typed errors.
+
+// Typed delta-application failures.
+var (
+	// ErrDeltaUnknown means the delta kind is not in the taxonomy.
+	ErrDeltaUnknown = errors.New("core: unknown delta kind")
+	// ErrDeltaInvalid means the delta value is out of the kind's domain.
+	ErrDeltaInvalid = errors.New("core: invalid delta value")
+	// ErrDeltaInvalidates means the delta kind would invalidate captured
+	// state (fault trajectories) and cannot be applied to a warm fork.
+	ErrDeltaInvalidates = errors.New("core: delta invalidates warm state")
+)
+
+// DeltaKinds lists the supported delta kinds.
+func DeltaKinds() []string {
+	return []string{"backoff.min", "backoff.max", "mild.inc", "mild.dec", "load.rate", "retry.limit"}
+}
+
+// backoffRetuner is the engine hook for strategy retuning; the token scheme
+// does not implement it (it has no backoff), which is a deterministic no-op.
+type backoffRetuner interface{ BackoffPolicy() backoff.Policy }
+
+// retryRetuner is the engine hook for the retry limit.
+type retryRetuner interface{ SetMaxRetries(n int) }
+
+// ApplyDelta applies one typed parameter delta to the running network. It
+// must be invoked with the network parked at a barrier; it first compacts
+// the event queue (so a cold run and a warm fork see identical heaps from
+// here on), then dispatches on the kind. Every error is typed and fails the
+// whole application before any station was touched.
+func (n *Network) ApplyDelta(kind string, value float64) error {
+	n.ForceCompactEvents()
+	switch kind {
+	case "backoff.min", "backoff.max":
+		v := int(value)
+		if float64(v) != value || v < 1 {
+			return fmt.Errorf("%w: %s=%g", ErrDeltaInvalid, kind, value)
+		}
+		set := backoff.SetBOMin
+		if kind == "backoff.max" {
+			set = backoff.SetBOMax
+		}
+		return n.retunePolicies(func(p backoff.Policy) error { return set(p, v) })
+	case "mild.inc":
+		num := int(math.Round(value * 1000))
+		if num < 1000 {
+			return fmt.Errorf("%w: %s=%g below 1", ErrDeltaInvalid, kind, value)
+		}
+		return n.retunePolicies(func(p backoff.Policy) error { return backoff.SetMILDInc(p, num, 1000) })
+	case "mild.dec":
+		step := int(value)
+		if float64(step) != value || step < 1 {
+			return fmt.Errorf("%w: %s=%g", ErrDeltaInvalid, kind, value)
+		}
+		return n.retunePolicies(func(p backoff.Policy) error { return backoff.SetMILDDec(p, step) })
+	case "load.rate":
+		if value <= 0 {
+			return fmt.Errorf("%w: %s=%g", ErrDeltaInvalid, kind, value)
+		}
+		for _, s := range n.streams {
+			cg, ok := s.gen.(*traffic.CBR)
+			if !ok {
+				return fmt.Errorf("%w: %s over generator %T", ErrDeltaInvalid, kind, s.gen)
+			}
+			if err := cg.SetRate(value); err != nil {
+				return fmt.Errorf("%w: %v", ErrDeltaInvalid, err)
+			}
+			s.Rate = value
+		}
+		return nil
+	case "retry.limit":
+		limit := int(value)
+		if float64(limit) != value || limit < 0 {
+			return fmt.Errorf("%w: %s=%g", ErrDeltaInvalid, kind, value)
+		}
+		for _, st := range n.stations {
+			if r, ok := st.mac.(retryRetuner); ok {
+				r.SetMaxRetries(limit)
+			}
+		}
+		return nil
+	default:
+		if strings.HasPrefix(kind, "fault.") {
+			// Fault knobs shape the injector's trajectory from time zero;
+			// a warm capture has already committed to one, so no delta can
+			// rewrite it at a barrier.
+			return fmt.Errorf("%w: %s (fault trajectories are fixed at build)", ErrDeltaInvalidates, kind)
+		}
+		return fmt.Errorf("%w: %q", ErrDeltaUnknown, kind)
+	}
+}
+
+// retunePolicies applies fn to every station's backoff policy; stations whose
+// engine has none are skipped deterministically.
+func (n *Network) retunePolicies(fn func(backoff.Policy) error) error {
+	for _, st := range n.stations {
+		if br, ok := st.mac.(backoffRetuner); ok {
+			if err := fn(br.BackoffPolicy()); err != nil {
+				return fmt.Errorf("%w: station %s: %v", ErrDeltaInvalid, st.name, err)
+			}
+		}
+	}
+	return nil
+}

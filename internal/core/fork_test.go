@@ -1,0 +1,226 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"macaw/internal/geom"
+	"macaw/internal/mac/csma"
+	"macaw/internal/mac/macaw"
+	"macaw/internal/mac/token"
+	"macaw/internal/sim"
+)
+
+// buildForkNet builds the fork test topology: a base station and four pads in
+// a single cell, two UDP streams up and one down, with the given MAC.
+func buildForkNet(seed int64, f func() MACFactory) *Network {
+	n := NewNetwork(seed)
+	b := n.AddStation("B", geom.V(0, 0, 12), f())
+	p1 := n.AddStation("P1", geom.V(4, 3, 6), f())
+	p2 := n.AddStation("P2", geom.V(2, 3, 6), f())
+	p3 := n.AddStation("P3", geom.V(0, 3, 6), f())
+	n.AddStream(p1, b, UDP, 32)
+	n.AddStream(p2, b, UDP, 32)
+	n.AddStream(b, p3, UDP, 32)
+	return n
+}
+
+func forkFactories() map[string]func() MACFactory {
+	return map[string]func() MACFactory{
+		"MACA":  func() MACFactory { return MACAFactory() },
+		"MACAW": func() MACFactory { return MACAWFactory(macaw.DefaultOptions()) },
+		"CSMA":  func() MACFactory { return CSMAFactory(csma.Options{ACK: true}) },
+		"token": func() MACFactory { return TokenFactory(token.Options{Ring: RingOf(4)}) },
+	}
+}
+
+// TestAdoptFromContinuationBitIdentical is the adopt layer's core proof: a
+// fork that adopts a warmed twin at a barrier and runs to the end produces
+// byte-identical Results and a byte-identical final state inventory to the
+// uninterrupted run, for every protocol and several seeds and barriers.
+func TestAdoptFromContinuationBitIdentical(t *testing.T) {
+	const total, warmup = 4 * sim.Second, 1 * sim.Second
+	for name, f := range forkFactories() {
+		for seed := int64(1); seed <= 5; seed++ {
+			for _, barrier := range []sim.Time{sim.Time(warmup), sim.Time(total / 2)} {
+				t.Run(fmt.Sprintf("%s/seed%d/b%d", name, seed, barrier), func(t *testing.T) {
+					// The reference: one uninterrupted run.
+					ref := buildForkNet(seed, f)
+					ref.Start(total, warmup)
+					ref.RunTo(ref.End())
+					refRes := ref.Collect()
+					refState := ref.AppendState(nil)
+
+					// The warm twin, parked at the barrier.
+					w := buildForkNet(seed, f)
+					w.Start(total, warmup)
+					w.RunTo(barrier)
+					w.ForceCompactEvents()
+
+					// The fork adopts and continues.
+					fk := buildForkNet(seed, f)
+					if err := fk.AdoptFrom(w); err != nil {
+						t.Fatalf("AdoptFrom: %v", err)
+					}
+					fk.RunTo(fk.End())
+					res := fk.Collect()
+					state := fk.AppendState(nil)
+
+					if fmt.Sprintf("%+v", res) != fmt.Sprintf("%+v", refRes) {
+						t.Errorf("results diverged:\n fork: %+v\n cold: %+v", res, refRes)
+					}
+					if string(state) != string(refState) {
+						t.Errorf("final state diverged at %s", firstDiffLine(refState, state))
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestAdoptFromManyForksShareOneTwin adopts several forks from one warm twin
+// sequentially, proving adoption leaves the twin intact (it only reads it).
+func TestAdoptFromManyForksShareOneTwin(t *testing.T) {
+	const total, warmup = 3 * sim.Second, 1 * sim.Second
+	f := forkFactories()["MACAW"]
+	w := buildForkNet(7, f)
+	w.Start(total, warmup)
+	w.RunTo(sim.Time(warmup))
+	w.ForceCompactEvents()
+	wantTwin := w.AppendState(nil)
+
+	var first []byte
+	for i := 0; i < 3; i++ {
+		fk := buildForkNet(7, f)
+		if err := fk.AdoptFrom(w); err != nil {
+			t.Fatalf("fork %d: %v", i, err)
+		}
+		fk.RunTo(fk.End())
+		state := fk.AppendState(nil)
+		if first == nil {
+			first = state
+		} else if string(state) != string(first) {
+			t.Fatalf("fork %d final state differs from fork 0 at %s", i, firstDiffLine(first, state))
+		}
+		if got := w.AppendState(nil); string(got) != string(wantTwin) {
+			t.Fatalf("fork %d mutated the warm twin at %s", i, firstDiffLine(wantTwin, got))
+		}
+	}
+}
+
+// TestAdoptFromRefusesMismatchedShapes pins the fail-closed paths.
+func TestAdoptFromRefusesMismatchedShapes(t *testing.T) {
+	const total, warmup = 2 * sim.Second, 1 * sim.Second
+	f := forkFactories()["MACA"]
+	w := buildForkNet(3, f)
+	w.Start(total, warmup)
+	w.RunTo(sim.Time(warmup))
+	w.ForceCompactEvents()
+
+	// A fork that has already run cannot adopt.
+	ran := buildForkNet(3, f)
+	ran.Start(total, warmup)
+	ran.RunTo(sim.Second / 2)
+	if err := ran.AdoptFrom(w); !errors.Is(err, ErrAdopt) {
+		t.Fatalf("adopting into a running network: got %v, want ErrAdopt", err)
+	}
+
+	// A different protocol cannot adopt.
+	other := buildForkNet(3, forkFactories()["MACAW"])
+	if err := other.AdoptFrom(w); !errors.Is(err, ErrAdopt) {
+		t.Fatalf("adopting across protocols: got %v, want ErrAdopt", err)
+	}
+
+	// A different station count cannot adopt.
+	small := NewNetwork(3)
+	small.AddStation("B", geom.V(0, 0, 12), f())
+	if err := small.AdoptFrom(w); !errors.Is(err, ErrAdopt) {
+		t.Fatalf("adopting a smaller network: got %v, want ErrAdopt", err)
+	}
+}
+
+// TestForkWithDeltaMatchesColdDelta is the sweep engine's correctness core:
+// for every protocol and delta kind, a fork that adopts a warmed twin and
+// applies a typed delta at the barrier is byte-identical — Results and final
+// state inventory — to a cold run applying the same delta at the same
+// barrier.
+func TestForkWithDeltaMatchesColdDelta(t *testing.T) {
+	const total, warmup = 4 * sim.Second, 1 * sim.Second
+	const barrier = sim.Time(warmup)
+	deltas := []struct {
+		kind  string
+		value float64
+	}{
+		{"backoff.min", 4},
+		{"backoff.max", 16},
+		{"mild.inc", 2.0},
+		{"mild.dec", 2},
+		{"load.rate", 52},
+		{"retry.limit", 2},
+	}
+	for name, f := range forkFactories() {
+		for _, d := range deltas {
+			for seed := int64(1); seed <= 3; seed++ {
+				t.Run(fmt.Sprintf("%s/%s=%g/seed%d", name, d.kind, d.value, seed), func(t *testing.T) {
+					cold := buildForkNet(seed, f)
+					cold.Start(total, warmup)
+					cold.RunTo(barrier)
+					if err := cold.ApplyDelta(d.kind, d.value); err != nil {
+						t.Fatalf("cold ApplyDelta: %v", err)
+					}
+					cold.RunTo(cold.End())
+					coldRes := cold.Collect()
+					coldState := cold.AppendState(nil)
+
+					w := buildForkNet(seed, f)
+					w.Start(total, warmup)
+					w.RunTo(barrier)
+					w.ForceCompactEvents()
+
+					fk := buildForkNet(seed, f)
+					if err := fk.AdoptFrom(w); err != nil {
+						t.Fatalf("AdoptFrom: %v", err)
+					}
+					if err := fk.ApplyDelta(d.kind, d.value); err != nil {
+						t.Fatalf("fork ApplyDelta: %v", err)
+					}
+					fk.RunTo(fk.End())
+					res := fk.Collect()
+					state := fk.AppendState(nil)
+
+					if fmt.Sprintf("%+v", res) != fmt.Sprintf("%+v", coldRes) {
+						t.Errorf("results diverged:\n fork: %+v\n cold: %+v", res, coldRes)
+					}
+					if string(state) != string(coldState) {
+						t.Errorf("final state diverged at %s", firstDiffLine(coldState, state))
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestApplyDeltaFailsClosed pins the typed error taxonomy.
+func TestApplyDeltaFailsClosed(t *testing.T) {
+	n := buildForkNet(1, forkFactories()["MACAW"])
+	n.Start(2*sim.Second, sim.Second)
+	for _, tc := range []struct {
+		kind  string
+		value float64
+		want  error
+	}{
+		{"nonsense", 1, ErrDeltaUnknown},
+		{"fault.crash", 1, ErrDeltaInvalidates},
+		{"backoff.min", 0, ErrDeltaInvalid},
+		{"backoff.max", 1.5, ErrDeltaInvalid},
+		{"mild.inc", 0.5, ErrDeltaInvalid},
+		{"mild.dec", 0, ErrDeltaInvalid},
+		{"load.rate", -1, ErrDeltaInvalid},
+		{"retry.limit", -2, ErrDeltaInvalid},
+	} {
+		if err := n.ApplyDelta(tc.kind, tc.value); !errors.Is(err, tc.want) {
+			t.Errorf("ApplyDelta(%s, %g) = %v, want %v", tc.kind, tc.value, err, tc.want)
+		}
+	}
+}

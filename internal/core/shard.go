@@ -81,14 +81,19 @@ type Blueprint struct {
 
 	// Instrument, when non-nil, attaches passive observers to each network
 	// the runner materializes (one per component when sharded, one total
-	// when serial). It runs before any station is added; the returned
-	// finish hook (may be nil) runs after that network's Run completes.
-	// When shards > 1 both the hook and its finish run on shard
+	// when serial). It runs before any station is added, receiving the
+	// component's global index (-1 on the serial path, where the network
+	// holds the whole building); the returned finish hook (may be nil)
+	// runs after that network's Run completes, receiving that network's
+	// Results. When shards > 1 both the hook and its finish run on shard
 	// goroutines, concurrently with other components' hooks — shared
-	// state inside them must be synchronized. Only per-station,
+	// state inside them must be synchronized. Per-station,
 	// interleaving-independent observers (the conformance oracle) keep
-	// the bit-identity contract.
-	Instrument func(*Network) func()
+	// the bit-identity contract outright; per-heap observers (metrics,
+	// traces) keep it per component — their output is canonical for a
+	// fixed partition, i.e. identical at every shard count >= 2, but
+	// keyed by component rather than matching the monolithic run.
+	Instrument func(n *Network, comp int) func(Results)
 
 	// Verify, when non-nil, checks each materialized network after
 	// construction (e.g. topo hearing relations). It must tolerate
@@ -181,11 +186,11 @@ func (bp Blueprint) Partition() (labels []int, count int, cutoff float64, ok boo
 // monolithic run would assign — node id, stream id, simulator random
 // stream — is positioned explicitly before each entity is added, so the
 // subset network deals out exactly the values the full building would.
-func (bp Blueprint) materialize(stIdx, strIdx []int, inject bool) (*Network, func(), error) {
+func (bp Blueprint) materialize(stIdx, strIdx []int, inject bool, comp int) (*Network, func(Results), error) {
 	n := NewNetwork(bp.Seed)
-	var finish func()
+	var finish func(Results)
 	if bp.Instrument != nil {
-		finish = bp.Instrument(n)
+		finish = bp.Instrument(n, comp)
 	}
 	total := int64(len(bp.Stations))
 	local := make(map[int]*Station, len(stIdx))
@@ -241,13 +246,13 @@ func (bp Blueprint) Run(total, warmup sim.Duration, shards int) (Results, ShardI
 		for j := range allStreams {
 			allStreams[j] = j
 		}
-		n, finish, err := bp.materialize(all, allStreams, false)
+		n, finish, err := bp.materialize(all, allStreams, false, -1)
 		if err != nil {
 			return Results{}, info, err
 		}
 		res := n.Run(total, warmup)
 		if finish != nil {
-			finish()
+			finish(res)
 		}
 		return res, info, nil
 	}
@@ -296,14 +301,14 @@ func (bp Blueprint) Run(total, warmup sim.Duration, shards int) (Results, ShardI
 							r.pan = p
 						}
 					}()
-					n, finish, err := bp.materialize(comps[c], compStreams[c], true)
+					n, finish, err := bp.materialize(comps[c], compStreams[c], true, c)
 					if err != nil {
 						r.err = err
 						return
 					}
 					r.res = n.Run(total, warmup)
 					if finish != nil {
-						finish()
+						finish(r.res)
 					}
 					return
 				}()

@@ -129,10 +129,10 @@ func TestShardedRunAuditedStaysIdentical(t *testing.T) {
 
 	audited := cityBlueprint(t, 4, 7)
 	var finished atomic.Int32 // hooks run on shard goroutines
-	audited.Instrument = func(n *core.Network) func() {
+	audited.Instrument = func(n *core.Network, comp int) func(core.Results) {
 		o := oracle.New(audited.Seed)
 		o.Attach(n)
-		return func() {
+		return func(core.Results) {
 			finished.Add(1)
 			if err := o.Err(); err != nil {
 				t.Errorf("oracle violation on component network: %v", err)

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 
 	"macaw/internal/core"
+	"macaw/internal/oracle"
 	"macaw/internal/sim"
 	"macaw/internal/snapshot"
 )
@@ -132,8 +133,24 @@ func (p *CheckpointPlan) barriersFor(start, end sim.Time) []sim.Time {
 
 // configDesc is the canonical description of everything that shapes one
 // run's event history; its hash binds snapshots and manifest entries to the
-// exact configuration that produced them.
+// exact configuration that produced them. A sweep delta is part of that
+// identity — two variants of one sweep are different runs — so it appends
+// as a final field. Delta-free configs render exactly the pre-delta ("v1")
+// string, keeping every previously written snapshot and manifest entry
+// valid.
 func (cfg RunConfig) configDesc(label string) string {
+	d := cfg.warmDesc(label)
+	if cfg.Delta != nil {
+		d += fmt.Sprintf("|delta=%s:%g", cfg.Delta.Kind, cfg.Delta.Value)
+	}
+	return d
+}
+
+// warmDesc is configDesc minus the delta field: the canonical description
+// of the run up to the delta barrier. Every variant of one sweep shares it,
+// which is what makes it the warm-state cache key — a snapshot captured at
+// the barrier under this description is valid to fork into any delta.
+func (cfg RunConfig) warmDesc(label string) string {
 	return fmt.Sprintf("v1|table=%s|run=%s|total=%d|warmup=%d|seed=%d|audit=%t",
 		cfg.table, label, cfg.Total, cfg.Warmup, cfg.Seed, cfg.Audit)
 }
@@ -148,15 +165,20 @@ func (cfg RunConfig) configDesc(label string) string {
 // after a real execution.
 func (rc runCtl) run(n *core.Network, extra ...func([]byte) []byte) core.Results {
 	cfg, plan := rc.cfg, rc.cfg.Checkpoint
-	if plan == nil {
+	if rc.warm != nil {
+		return rc.runTail(n)
+	}
+	if plan == nil && cfg.Delta == nil {
 		res := n.Run(cfg.Total, cfg.Warmup)
 		rc.finish(res)
 		return res
 	}
 
-	hash := snapshot.ConfigHash(cfg.configDesc(rc.label))
+	desc := cfg.configDesc(rc.label)
+	hash := snapshot.ConfigHash(desc)
 	key := snapshot.Key(rc.label, hash, cfg.Seed)
-	memoize := plan.Manifest != nil && cfg.Metrics == nil && cfg.Trace == nil && len(extra) == 0
+	memoize := plan != nil && plan.Manifest != nil &&
+		cfg.Metrics == nil && cfg.Trace == nil && len(extra) == 0
 	if memoize {
 		if payload, ok := plan.Manifest.Get(key); ok {
 			if res, err := decodeResults(payload); err == nil {
@@ -168,31 +190,50 @@ func (rc runCtl) run(n *core.Network, extra ...func([]byte) []byte) core.Results
 
 	n.Start(cfg.Total, cfg.Warmup)
 	start, end := n.Sim.Now(), n.End()
-	for _, b := range plan.barriersFor(start, end) {
+	// The delta barrier is where a sweep variant's parameters change: the
+	// end of warmup, the same instant a warm fork adopts. It merges into
+	// the checkpoint barrier list so a captured snapshot at that instant is
+	// always pre-delta — exactly the state a warm fork starts from.
+	deltaAt := sim.Time(-1)
+	if cfg.Delta != nil {
+		deltaAt = start + sim.Time(cfg.Warmup)
+	}
+	for _, b := range mergeBarrier(planBarriers(plan, start, end), deltaAt, start, end) {
 		n.RunTo(b)
-		state := rc.capture(n, extra)
-		if snap := plan.RestoreSnap; snap != nil && b == snap.Barrier &&
-			snap.Matches(hash, cfg.Seed, rc.label) == nil {
-			if err := snap.Verify(state); err != nil {
-				panic(fmt.Sprintf("experiments: restore of %s at t=%v: %v", rc.label, b, err))
+		if plan != nil {
+			state := rc.capture(n, extra)
+			if snap := plan.RestoreSnap; snap != nil && snap.Run == rc.label {
+				if err := snap.MatchesConfig(desc, cfg.Seed, rc.label); err != nil {
+					panic(fmt.Sprintf("experiments: restore of %s: %v", rc.label, err))
+				} else if b == snap.Barrier {
+					if err := snap.Verify(state); err != nil {
+						panic(fmt.Sprintf("experiments: restore of %s at t=%v: %v", rc.label, b, err))
+					}
+					plan.noteVerified(rc.label)
+				}
 			}
-			plan.noteVerified(rc.label)
-		}
-		if plan.Dir != "" {
-			path := filepath.Join(plan.Dir, snapshot.FileName(rc.label, cfg.Seed, b))
-			err := snapshot.WriteFile(path, &snapshot.Snapshot{
-				ConfigHash: hash, Seed: cfg.Seed, Barrier: b,
-				Total: cfg.Total, Warmup: cfg.Warmup, Audit: cfg.Audit,
-				Table: cfg.table, Run: rc.label, State: state,
-			})
-			if err != nil {
-				panic(fmt.Sprintf("experiments: writing checkpoint: %v", err))
+			if plan.Dir != "" {
+				path := filepath.Join(plan.Dir, snapshot.FileName(rc.label, cfg.Seed, b))
+				err := snapshot.WriteFile(path, &snapshot.Snapshot{
+					ConfigHash: hash, Seed: cfg.Seed, Barrier: b,
+					Total: cfg.Total, Warmup: cfg.Warmup, Audit: cfg.Audit,
+					Table: cfg.table, Run: rc.label, State: state,
+					Desc: desc, Delta: cfg.Delta,
+				})
+				if err != nil {
+					panic(fmt.Sprintf("experiments: writing checkpoint: %v", err))
+				}
+				plan.noteWrote(path)
 			}
-			plan.noteWrote(path)
+			if plan.stop.Load() {
+				plan.abort()
+				// OnAbort returned: the stop was advisory; keep running.
+			}
 		}
-		if plan.stop.Load() {
-			plan.abort()
-			// OnAbort returned: the stop was advisory; keep running.
+		if b == deltaAt {
+			if err := n.ApplyDelta(cfg.Delta.Kind, cfg.Delta.Value); err != nil {
+				panic(fmt.Sprintf("experiments: delta for %s: %v", rc.label, err))
+			}
 		}
 	}
 	n.RunTo(end)
@@ -203,6 +244,73 @@ func (rc runCtl) run(n *core.Network, extra ...func([]byte) []byte) core.Results
 			panic(fmt.Sprintf("experiments: recording run in manifest: %v", err))
 		}
 	}
+	return res
+}
+
+// planBarriers is barriersFor tolerating a nil plan (a delta-only run).
+func planBarriers(plan *CheckpointPlan, start, end sim.Time) []sim.Time {
+	if plan == nil {
+		return nil
+	}
+	return plan.barriersFor(start, end)
+}
+
+// mergeBarrier splices one extra barrier into a sorted barrier list,
+// keeping it sorted and deduplicated. t < 0 means no extra barrier; a t on
+// the boundary (== start or >= end) is dropped like barriersFor would.
+func mergeBarrier(bs []sim.Time, t, start, end sim.Time) []sim.Time {
+	if t < 0 || t <= start || t >= end {
+		return bs
+	}
+	i := sort.Search(len(bs), func(i int) bool { return bs[i] >= t })
+	if i < len(bs) && bs[i] == t {
+		return bs
+	}
+	out := make([]sim.Time, 0, len(bs)+1)
+	out = append(out, bs[:i]...)
+	out = append(out, t)
+	return append(out, bs[i:]...)
+}
+
+// WarmSource is a warmed twin parked at its barrier, ready to be forked.
+// Net must be stopped exactly at Barrier with its event queue compacted
+// (core.Network.ForceCompactEvents); Aud is the oracle that observed the
+// warmup when the runs are audited, nil otherwise. Adoption only reads the
+// twin, so one WarmSource serves any number of sequential forks; the sweep
+// engine serializes access per source.
+type WarmSource struct {
+	Net     *core.Network
+	Aud     *oracle.Oracle
+	Barrier sim.Time
+}
+
+// runTail executes a warm-started run: the freshly built network adopts the
+// twin's state at the barrier (byte-verified inside AdoptFrom — divergence
+// fails closed), the oracle adopts the warmup's expectations, the variant's
+// delta is applied, and only the tail simulates. The produced Results and
+// final state inventory are byte-identical to a cold run applying the same
+// delta at the same barrier — TestSweepWarmMatchesCold holds the line.
+func (rc runCtl) runTail(n *core.Network) core.Results {
+	cfg := rc.cfg
+	if cfg.Checkpoint != nil {
+		panic("experiments: a warm-started run cannot carry a checkpoint plan")
+	}
+	if err := n.AdoptFrom(rc.warm.Net); err != nil {
+		panic(fmt.Sprintf("experiments: forking %s: %v", rc.label, err))
+	}
+	if rc.aud.o != nil {
+		if err := rc.aud.o.AdoptFrom(rc.warm.Aud); err != nil {
+			panic(fmt.Sprintf("experiments: forking %s: %v", rc.label, err))
+		}
+	}
+	if cfg.Delta != nil {
+		if err := n.ApplyDelta(cfg.Delta.Kind, cfg.Delta.Value); err != nil {
+			panic(fmt.Sprintf("experiments: delta for %s: %v", rc.label, err))
+		}
+	}
+	n.RunTo(n.End())
+	res := n.Collect()
+	rc.finish(res)
 	return res
 }
 
@@ -263,6 +371,7 @@ func ReplayRun(snap *snapshot.Snapshot, cfg RunConfig) (t Table, err error) {
 	cfg.Warmup = snap.Warmup
 	cfg.Seed = snap.Seed
 	cfg.Audit = snap.Audit
+	cfg.Delta = snap.Delta
 	if cfg.Checkpoint == nil {
 		cfg.Checkpoint = &CheckpointPlan{}
 	}

@@ -359,3 +359,34 @@ func mustGen(t *testing.T, id string) Generator {
 	}
 	return g
 }
+
+// TestRestoreMismatchNamesParameter is the restore-error satellite: when a
+// snapshot's run label matches but its configuration does not, the failure
+// names the first differing rebuild parameter instead of two opaque hashes.
+func TestRestoreMismatchNamesParameter(t *testing.T) {
+	dir := t.TempDir()
+	cfg := ckptCfg()
+	cfg.Checkpoint = &CheckpointPlan{Every: 4 * sim.Second, Dir: dir}
+	gen := mustGen(t, "table9")
+	gen.Run(cfg.ForTable(gen.ID))
+
+	files, _ := filepath.Glob(filepath.Join(dir, "*.snap"))
+	if len(files) == 0 {
+		t.Fatal("no snapshots written")
+	}
+	snap, err := snapshot.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drift the rebuild config: the replay reconstructs the run from the
+	// snapshot header, so a tampered Total no longer matches the captured
+	// configuration description.
+	snap.Total += sim.Second
+	_, err = ReplayRun(snap, RunConfig{})
+	if err == nil {
+		t.Fatal("replay with a drifted config did not fail")
+	}
+	if !strings.Contains(err.Error(), "total=") || !strings.Contains(err.Error(), "in the snapshot vs") {
+		t.Fatalf("mismatch error does not name the differing parameter: %v", err)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"macaw/internal/metrics"
 	"macaw/internal/oracle"
 	"macaw/internal/sim"
+	"macaw/internal/snapshot"
 	"macaw/internal/topo"
 	"macaw/internal/trace"
 )
@@ -67,12 +68,26 @@ type RunConfig struct {
 	// count. Runs that the sharded engine cannot reproduce exactly stay
 	// on the monolithic path automatically: runs with scenario mods
 	// (noise, mobility, power events — their hooks close over the
-	// monolithic network), and metrics- or trace-instrumented runs (their
-	// output depends on the global event interleaving: the queue
-	// high-water mark and trace emission order are properties of the one
-	// big heap). The audit oracle is per-station and passive, so audited
-	// runs shard fine.
+	// monolithic network), checkpointed runs (barriers pause the one big
+	// heap), and warm-started delta runs. The audit oracle is per-station
+	// and passive, so audited runs shard fine. Metrics- and
+	// trace-instrumented runs shard too: each component records under a
+	// "<label>#c0000"-style sub-label, and because a component's event
+	// interleaving is identical on its own heap at every shard count, the
+	// label-sorted sink output is byte-identical across shard counts >= 2
+	// (it differs from the serial run's single-label document, whose
+	// queue high-water marks and emission order are properties of the one
+	// big heap).
 	Shards int
+
+	// Delta, when non-nil, applies one typed sweep parameter delta
+	// (DESIGN.md §15) to the run at the delta barrier — virtual time
+	// start+Warmup — through core.ApplyDelta. The delta is part of the
+	// run's config identity: configDesc (and so every snapshot and
+	// manifest key) carries it, while warm-state cache keys use the
+	// delta-free prefix, which is what lets one warmed network serve
+	// every variant.
+	Delta *snapshot.Delta
 
 	// runner, when set via WithRunner, executes the independent runs
 	// inside each generator on a worker pool instead of inline.
@@ -236,7 +251,7 @@ func (t Table) MeasuredTotal(i int) float64 {
 // mobility, power events), and runs it. name labels the run in the metrics
 // and trace sinks.
 func runLayout(cfg RunConfig, name string, l topo.Layout, f core.MACFactory, mods ...func(*core.Network)) core.Results {
-	if res, ok := cfg.runSharded(l, f, len(mods) == 0); ok {
+	if res, ok := cfg.runSharded(cfg.runLabel(name), l, f, len(mods) == 0); ok {
 		return res
 	}
 	n := core.NewNetwork(cfg.Seed)
@@ -252,10 +267,13 @@ func runLayout(cfg RunConfig, name string, l topo.Layout, f core.MACFactory, mod
 
 // runSharded dispatches an eligible run to the sharded engine. plain is
 // false when the run carries scenario mods, which pins it to the monolithic
-// path (see RunConfig.Shards); so do metrics and trace instrumentation. ok
-// is false when the monolithic path must run instead.
-func (cfg RunConfig) runSharded(l topo.Layout, f core.MACFactory, plain bool) (core.Results, bool) {
-	if cfg.Shards <= 1 || !plain || cfg.Metrics != nil || cfg.Trace != nil || cfg.Checkpoint != nil {
+// path (see RunConfig.Shards); so do checkpoint plans and sweep deltas. ok
+// is false when the monolithic path must run instead. label keys the
+// metrics and trace sinks; component networks record under
+// "label#c<comp>" sub-labels, merged canonically by the label-sorted
+// writers.
+func (cfg RunConfig) runSharded(label string, l topo.Layout, f core.MACFactory, plain bool) (core.Results, bool) {
+	if cfg.Shards <= 1 || !plain || cfg.Checkpoint != nil || cfg.Delta != nil {
 		return core.Results{}, false
 	}
 	bp, err := l.Blueprint(f)
@@ -263,22 +281,64 @@ func (cfg RunConfig) runSharded(l topo.Layout, f core.MACFactory, plain bool) (c
 		panic(fmt.Sprintf("experiments: %v", err))
 	}
 	bp.Seed = cfg.Seed
-	if cfg.Audit {
-		bp.Instrument = func(n *core.Network) func() {
-			o := oracle.New(cfg.Seed)
-			o.Attach(n)
-			return func() {
-				if err := o.Err(); err != nil {
-					panic(fmt.Sprintf("experiments: %v", err))
-				}
-			}
-		}
+	if cfg.Audit || cfg.Metrics != nil || cfg.Trace != nil {
+		bp.Instrument = cfg.shardInstrument(label)
 	}
 	res, _, err := bp.Run(cfg.Total, cfg.Warmup, cfg.Shards)
 	if err != nil {
 		panic(fmt.Sprintf("experiments: %v", err))
 	}
 	return res, true
+}
+
+// shardInstrument builds the blueprint Instrument hook attaching every
+// configured passive observer to each materialized network. The oracle is
+// interleaving-independent, so audited sharded output is byte-identical to
+// serial; the metrics collector and trace recorder are per-heap, so each
+// component stores under its own deterministic sub-label ("label#c0003" for
+// component 3, the plain label on the serial fallback) and the sink
+// documents are byte-identical across shard counts >= 2.
+func (cfg RunConfig) shardInstrument(label string) func(*core.Network, int) func(core.Results) {
+	return func(n *core.Network, comp int) func(core.Results) {
+		sub := label
+		if comp >= 0 {
+			sub = fmt.Sprintf("%s#c%04d", label, comp)
+		}
+		var fins []func(core.Results)
+		if cfg.Audit {
+			o := oracle.New(cfg.Seed)
+			o.Attach(n)
+			fins = append(fins, func(core.Results) {
+				if err := o.Err(); err != nil {
+					panic(fmt.Sprintf("experiments: %v", err))
+				}
+			})
+		}
+		if cfg.Metrics != nil {
+			col := metrics.NewCollector()
+			n.AddMACObserver(col.Observer)
+			fins = append(fins, func(res core.Results) {
+				cfg.Metrics.Add(sub, col.Snapshot(n, res, cfg.Seed))
+			})
+		}
+		if cfg.Trace != nil {
+			rec := trace.NewRecorder(n.Sim)
+			rec.Max = cfg.TraceMax
+			if rec.Max == 0 {
+				rec.Max = DefaultTraceMax
+			}
+			rec.From = cfg.TraceFrom
+			n.AddMACObserver(rec.MACObserver)
+			fins = append(fins, func(core.Results) {
+				cfg.Trace.Add(sub, rec.Events(), rec.Dropped())
+			})
+		}
+		return func(res core.Results) {
+			for _, fin := range fins {
+				fin(res)
+			}
+		}
+	}
 }
 
 // runCtl is the per-run control handle instrument returns: the run's sink
@@ -291,6 +351,12 @@ type runCtl struct {
 	label  string
 	finish func(core.Results)
 	obs    func([]byte) []byte
+	aud    audit
+	// warm, when non-nil, makes run fork the warmed twin instead of
+	// simulating the warmup itself: the built network adopts the twin's
+	// state at the barrier, applies the config's delta, and runs only the
+	// measured tail. See WarmSource.
+	warm *WarmSource
 }
 
 // instrument attaches every configured passive observer (oracle, metrics
@@ -316,7 +382,7 @@ func (cfg RunConfig) instrument(name string, n *core.Network) runCtl {
 		rec.From = cfg.TraceFrom
 		n.AddMACObserver(rec.MACObserver)
 	}
-	rc := runCtl{cfg: cfg, label: cfg.runLabel(name)}
+	rc := runCtl{cfg: cfg, label: cfg.runLabel(name), aud: a}
 	if a.o != nil {
 		rc.obs = a.o.AppendState
 	}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"macaw/internal/core"
+	"macaw/internal/geom"
+	"macaw/internal/mac/macaw"
+	"macaw/internal/metrics"
+	"macaw/internal/sim"
+	"macaw/internal/topo"
+	"macaw/internal/trace"
+)
+
+// twoComponentLayout builds two complete cells far beyond the interaction
+// cutoff — two causally independent radio components, so the sharded
+// engine genuinely runs two event heaps.
+func twoComponentLayout() topo.Layout {
+	l := topo.Layout{Name: "two-components", Doc: "two cells beyond the interaction cutoff"}
+	for i, x := range []float64{0, 1000} {
+		p := fmt.Sprintf("c%d", i)
+		l.Stations = append(l.Stations,
+			topo.StationSpec{Name: p + "B", Pos: geom.V(x, 0, 12), Base: true},
+			topo.StationSpec{Name: p + "P1", Pos: geom.V(x+4, 3, 6)},
+			topo.StationSpec{Name: p + "P2", Pos: geom.V(x+2, 3, 6)},
+		)
+		l.Streams = append(l.Streams,
+			topo.StreamSpec{From: p + "P1", To: p + "B", Kind: core.UDP, Rate: 24},
+			topo.StreamSpec{From: p + "P2", To: p + "B", Kind: core.UDP, Rate: 24},
+		)
+		l.Relations = append(l.Relations, topo.Relation{A: p + "P1", B: p + "B", Hears: true})
+	}
+	// The components must not hear each other or the partition is one cell.
+	l.Relations = append(l.Relations, topo.Relation{A: "c0B", B: "c1B", Hears: false})
+	return l
+}
+
+// TestShardedSinksCanonicalAcrossShardCounts holds the lifted sharding
+// gate's contract: metrics- and trace-instrumented runs now shard, each
+// component recording under a deterministic "#c<comp>" sub-label, and
+// because a component's event interleaving is a property of its own heap,
+// the label-sorted sink documents are byte-identical at every shard count
+// >= 2. Results stay byte-identical to the serial engine's at any count —
+// only the sink documents are keyed per component.
+func TestShardedSinksCanonicalAcrossShardCounts(t *testing.T) {
+	l := twoComponentLayout()
+	f := core.MACAWFactory(macaw.DefaultOptions())
+	run := func(shards int) (string, string, string) {
+		cfg := RunConfig{Total: 6 * sim.Second, Warmup: sim.Second, Seed: 11, Audit: true, Shards: shards}
+		cfg.Metrics = metrics.NewSink()
+		cfg.Trace = trace.NewJSONLSink()
+		res := runLayout(cfg.ForTable("shardsinks"), "macaw", l, f)
+		var mb, tb bytes.Buffer
+		if err := cfg.Metrics.WriteJSON(&mb); err != nil {
+			t.Fatalf("WriteJSON: %v", err)
+		}
+		if err := cfg.Trace.WriteJSONL(&tb); err != nil {
+			t.Fatalf("WriteJSONL: %v", err)
+		}
+		return mb.String(), tb.String(), fmt.Sprintf("%+v", res)
+	}
+
+	_, _, serialRes := run(1)
+	m2, t2, r2 := run(2)
+	if r2 != serialRes {
+		t.Fatalf("sharded results differ from serial:\n serial: %s\n shards=2: %s", serialRes, r2)
+	}
+	for _, shards := range []int{4, 8} {
+		m, tr, r := run(shards)
+		if r != serialRes {
+			t.Fatalf("shards=%d results differ from serial", shards)
+		}
+		if m != m2 {
+			t.Fatalf("metrics JSON differs between shards=2 and shards=%d:\n--- 2 ---\n%s\n--- %d ---\n%s",
+				shards, m2, shards, m)
+		}
+		if tr != t2 {
+			t.Fatalf("trace JSONL differs between shards=2 and shards=%d", shards)
+		}
+	}
+
+	// The sub-labels are the per-component keys the contract names.
+	cfg := RunConfig{Total: 6 * sim.Second, Warmup: sim.Second, Seed: 11, Shards: 2}
+	cfg.Metrics = metrics.NewSink()
+	runLayout(cfg.ForTable("shardsinks"), "macaw", l, f)
+	want := []string{"shardsinks/macaw#c0000", "shardsinks/macaw#c0001"}
+	got := cfg.Metrics.Labels()
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("sharded sink labels = %v, want %v", got, want)
+	}
+}
+
+// TestSerialSinksKeepPlainLabels: the serial path (Shards <= 1) records
+// under the plain run label, exactly as before the gate was lifted.
+func TestSerialSinksKeepPlainLabels(t *testing.T) {
+	cfg := RunConfig{Total: 4 * sim.Second, Warmup: sim.Second, Seed: 11}
+	cfg.Metrics = metrics.NewSink()
+	runLayout(cfg.ForTable("shardsinks"), "macaw", twoComponentLayout(), core.MACAWFactory(macaw.DefaultOptions()))
+	if got := cfg.Metrics.Labels(); fmt.Sprint(got) != fmt.Sprint([]string{"shardsinks/macaw"}) {
+		t.Fatalf("serial sink labels = %v, want the plain run label", got)
+	}
+}

@@ -58,6 +58,10 @@ type CSMA struct {
 	q       mac.Queue
 	retries int
 	timer   sim.Event
+	// sending references the head packet while its DATA frame is on the
+	// air (still queued; finish pops it). It stays nil while an ACK is on
+	// the air, which is how the two Sending-state timers are told apart.
+	sending *mac.Packet
 	seq     uint32
 	halted  bool // crashed instance: every entry point is a no-op
 	stats   mac.Stats
@@ -105,6 +109,7 @@ func (c *CSMA) Halt() {
 	c.timer.Cancel()
 	c.timer = sim.Event{}
 	c.st = Idle
+	c.sending = nil
 	for p := c.q.Pop(); p != nil; p = c.q.Pop() {
 		c.stats.Drops++
 		c.noteDrop(p.Dst, mac.DropDisabled)
@@ -212,15 +217,28 @@ func (c *CSMA) attempt() {
 	c.pol.StampSend(data)
 	air := c.transmit(data)
 	c.setState(Sending)
-	c.setTimer(air, func() {
-		c.timer = sim.Event{}
-		if !c.opt.ACK {
-			c.finish(head)
-			return
-		}
-		c.setState(WFACK)
-		c.setTimer(c.env.Cfg.Turnaround+c.env.Cfg.CtrlTime()+c.env.Cfg.Margin, c.onACKTimeout)
-	})
+	c.sending = head
+	c.setTimer(air, c.onDataAirDone)
+}
+
+// onDataAirDone fires when the DATA frame leaves the air: fire-and-forget
+// completes immediately, an ACK-bearing exchange moves to WFACK.
+func (c *CSMA) onDataAirDone() {
+	c.timer = sim.Event{}
+	head := c.sending
+	c.sending = nil
+	if !c.opt.ACK {
+		c.finish(head)
+		return
+	}
+	c.setState(WFACK)
+	c.setTimer(c.env.Cfg.Turnaround+c.env.Cfg.CtrlTime()+c.env.Cfg.Margin, c.onACKTimeout)
+}
+
+// onAckAirDone fires when a returned ACK leaves the air.
+func (c *CSMA) onAckAirDone() {
+	c.timer = sim.Event{}
+	c.schedule()
 }
 
 func (c *CSMA) finish(head *mac.Packet) {
@@ -284,10 +302,7 @@ func (c *CSMA) RadioReceive(f *frame.Frame) {
 			air := c.transmit(ack)
 			c.stats.ACKSent++
 			c.setState(Sending)
-			c.setTimer(air, func() {
-				c.timer = sim.Event{}
-				c.schedule()
-			})
+			c.setTimer(air, c.onAckAirDone)
 		}
 	case frame.ACK:
 		if c.st != WFACK {

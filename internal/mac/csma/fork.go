@@ -1,0 +1,60 @@
+package csma
+
+import (
+	"fmt"
+
+	"macaw/internal/backoff"
+)
+
+// AdoptFrom copies w's mutable protocol state into c, which must be a freshly
+// built twin bound to an identically built environment (DESIGN.md §15).
+// Queued packets are shared — a mac.Packet is immutable once enqueued — and
+// the pending state timer is re-armed at its exact (when, prio, seq) ordering
+// key. The FSM state discriminates the callback, with one refinement: in
+// Sending the timer completes a DATA frame when sending is set and an ACK
+// frame when it is nil (the engine maintains exactly that invariant). It
+// fails closed on anything this fork path cannot reproduce.
+func (c *CSMA) AdoptFrom(w *CSMA) error {
+	if w.halted || c.halted {
+		return fmt.Errorf("csma: adopt: halted instance (warm=%t fork=%t)", w.halted, c.halted)
+	}
+	if c.opt.ACK != w.opt.ACK {
+		return fmt.Errorf("csma: adopt: options differ (ack=%t here vs %t in warm twin)", c.opt.ACK, w.opt.ACK)
+	}
+	if err := backoff.Adopt(c.pol, w.pol); err != nil {
+		return err
+	}
+	c.st = w.st
+	c.q.AdoptFrom(&w.q)
+	c.retries = w.retries
+	c.sending = w.sending
+	c.seq = w.seq
+	c.stats = w.stats
+
+	var fn func()
+	switch w.st {
+	case Backoff:
+		fn = c.attempt
+	case Sending:
+		if w.sending != nil {
+			fn = c.onDataAirDone
+		} else {
+			fn = c.onAckAirDone
+		}
+	case WFACK:
+		fn = c.onACKTimeout
+	}
+	if fn == nil && w.timer.Live() {
+		return fmt.Errorf("csma: adopt: live timer in state %s, which never arms one", w.st)
+	}
+	c.timer = c.env.Sim.Readopt(w.timer, fn)
+	return nil
+}
+
+// BackoffPolicy exposes the live policy for barrier-time retuning (sweep
+// deltas).
+func (c *CSMA) BackoffPolicy() backoff.Policy { return c.pol }
+
+// SetMaxRetries rewrites the per-packet retry limit, effective from the next
+// failed attempt.
+func (c *CSMA) SetMaxRetries(n int) { c.env.Cfg.MaxRetries = n }

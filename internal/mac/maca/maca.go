@@ -60,9 +60,12 @@ type MACA struct {
 	deferUntil sim.Time
 	curDst     frame.NodeID // destination of the exchange in flight
 	expectFrom frame.NodeID // sender we issued a CTS to (WFData)
-	seq        uint32
-	halted     bool // crashed instance: every entry point is a no-op
-	stats      mac.Stats
+	// sending is the packet on the air during SendData; it is popped off
+	// the queue when the DATA frame starts and completed by onDataSent.
+	sending *mac.Packet
+	seq     uint32
+	halted  bool // crashed instance: every entry point is a no-op
+	stats   mac.Stats
 }
 
 // New returns a MACA instance bound to env's radio. It installs itself as
@@ -108,6 +111,7 @@ func (m *MACA) Halt() {
 	m.clearTimer()
 	m.st = Idle
 	m.deferUntil = 0
+	m.sending = nil
 	for p := m.q.Pop(); p != nil; p = m.q.Pop() {
 		m.stats.Drops++
 		m.noteDrop(p.Dst, mac.DropDisabled)
@@ -380,12 +384,8 @@ func (m *MACA) receiveForMe(f *frame.Frame) {
 		m.pol.StampSend(data)
 		air := m.transmit(data)
 		m.setState(SendData)
-		m.setTimer(air, func() {
-			m.timer = sim.Event{}
-			m.stats.DataSent++
-			m.env.Callbacks.NotifySent(head)
-			m.next()
-		})
+		m.sending = head
+		m.setTimer(air, m.onDataSent)
 	case frame.DATA:
 		// Control rule 4.
 		if m.st == WFData && f.Src == m.expectFrom {
@@ -397,6 +397,19 @@ func (m *MACA) receiveForMe(f *frame.Frame) {
 		// A data packet that arrives outside WFData is still data.
 		m.deliver(f)
 	}
+}
+
+// onDataSent completes the DATA transmission started by the CTS: the packet
+// held in sending is reported sent and the station moves on. A named method
+// (rather than a closure over the popped head) keeps the pending-timer
+// callback symbol stable, which warm-started forks rely on.
+func (m *MACA) onDataSent() {
+	m.timer = sim.Event{}
+	head := m.sending
+	m.sending = nil
+	m.stats.DataSent++
+	m.env.Callbacks.NotifySent(head)
+	m.next()
 }
 
 // onTimeoutToIdle is Timeout rule 2: "From any other state, when a timer

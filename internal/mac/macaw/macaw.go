@@ -129,6 +129,22 @@ type contender struct {
 	rrts bool
 }
 
+// txKind discriminates which transmission the SendData-state timer is
+// completing. Five different frames can be on the air in SendData; the kind
+// (with txHead/txWantAck) is the full continuation state, so the timer
+// callbacks can be named methods instead of capturing closures — which keeps
+// their symbols stable for warm-started forks.
+type txKind int
+
+const (
+	txNone txKind = iota
+	txMcastRTS
+	txMcastData
+	txDS
+	txData
+	txCtrl
+)
+
 // MACAW is one station's protocol instance.
 type MACAW struct {
 	env  *mac.Env
@@ -154,6 +170,13 @@ type MACAW struct {
 	cur       contender    // what the contend timer is armed for
 	curDst    frame.NodeID // destination of the exchange in flight
 	expectSrc frame.NodeID // sender we issued a CTS/RRTS toward
+
+	// tx/txHead/txWantAck are the continuation state of the SendData
+	// timer: which frame is on the air, the packet it belongs to, and
+	// whether the DATA frame requested an ACK.
+	tx        txKind
+	txHead    *mac.Packet
+	txWantAck bool
 
 	// rrtsFor is the first RTS sender we could not answer while
 	// deferring ("it only responds to the first received RTS").
@@ -256,6 +279,7 @@ func (m *MACAW) Halt() {
 	m.st = Idle
 	m.hasRRTS = false
 	m.deferUntil = 0
+	m.tx, m.txHead, m.txWantAck = txNone, nil, false
 	drain := func(q *mac.Queue) {
 		for p := q.Pop(); p != nil; p = q.Pop() {
 			m.stats.Drops++
@@ -587,20 +611,31 @@ func (m *MACAW) sendMulticast(head *mac.Packet) {
 	air := m.transmit(rts)
 	m.stats.RTSSent++
 	m.setState(SendData)
-	m.setTimer(air, func() {
-		m.timer = sim.Event{}
-		data := &frame.Frame{Type: frame.DATA, Src: m.env.ID(), Dst: frame.Broadcast, DataBytes: uint16(head.Size), Seq: head.Seq(), Multicast: true, Payload: head.Payload}
-		m.pol.StampSend(data)
-		dair := m.transmit(data)
-		m.setTimer(dair, func() {
-			m.timer = sim.Event{}
-			m.queueFor(frame.Broadcast).Pop()
-			m.noteQueue("pop", frame.Broadcast)
-			m.stats.DataSent++
-			m.env.Callbacks.NotifySent(head)
-			m.next()
-		})
-	})
+	m.tx, m.txHead = txMcastRTS, head
+	m.setTimer(air, m.onMcastRTSSent)
+}
+
+// onMcastRTSSent follows the multicast RTS with the DATA packet itself.
+func (m *MACAW) onMcastRTSSent() {
+	m.timer = sim.Event{}
+	head := m.txHead
+	data := &frame.Frame{Type: frame.DATA, Src: m.env.ID(), Dst: frame.Broadcast, DataBytes: uint16(head.Size), Seq: head.Seq(), Multicast: true, Payload: head.Payload}
+	m.pol.StampSend(data)
+	dair := m.transmit(data)
+	m.tx = txMcastData
+	m.setTimer(dair, m.onMcastDataSent)
+}
+
+// onMcastDataSent completes the multicast exchange.
+func (m *MACAW) onMcastDataSent() {
+	m.timer = sim.Event{}
+	head := m.txHead
+	m.tx, m.txHead = txNone, nil
+	m.queueFor(frame.Broadcast).Pop()
+	m.noteQueue("pop", frame.Broadcast)
+	m.stats.DataSent++
+	m.env.Callbacks.NotifySent(head)
+	m.next()
 }
 
 // onCTSTimeout handles an RTS that evoked no CTS (or ACK): the failure is
@@ -713,7 +748,8 @@ func (m *MACAW) onExpectTimeout() {
 		air := m.transmit(nack)
 		m.expectSrc = 0
 		m.setState(SendData)
-		m.setTimer(air, func() { m.timer = sim.Event{}; m.next() })
+		m.tx = txCtrl
+		m.setTimer(air, m.onCtrlSent)
 		return
 	}
 	// The expected peer never followed through; forget it so no later
@@ -1001,7 +1037,8 @@ func (m *MACAW) onCTS(f *frame.Frame) {
 		air := m.transmit(ds)
 		m.stats.DSSent++
 		m.setState(SendData)
-		m.setTimer(air, func() { m.timer = sim.Event{}; m.sendData(head) })
+		m.tx, m.txHead = txDS, head
+		m.setTimer(air, m.onDSSent)
 	} else {
 		m.setState(SendData)
 		m.sendData(head)
@@ -1022,30 +1059,53 @@ func (m *MACAW) sendData(head *mac.Packet) {
 	data := &frame.Frame{Type: frame.DATA, Src: m.env.ID(), Dst: head.Dst, DataBytes: uint16(head.Size), Seq: head.Seq(), Payload: head.Payload, AckRequested: wantAck}
 	m.pol.StampSend(data)
 	air := m.transmit(data)
-	m.setTimer(air, func() {
-		m.timer = sim.Event{}
-		if wantAck {
-			m.setState(WFACK)
-			m.setTimer(m.env.Cfg.CTSWait(), m.onACKTimeout)
-			return
+	m.tx, m.txHead, m.txWantAck = txData, head, wantAck
+	m.setTimer(air, m.onDataAirDone)
+}
+
+// onDSSent transmits the announced data once the DS frame leaves the air.
+func (m *MACAW) onDSSent() {
+	m.timer = sim.Event{}
+	head := m.txHead
+	m.tx, m.txHead = txNone, nil
+	m.sendData(head)
+}
+
+// onDataAirDone fires when the DATA frame leaves the air: wait for the ACK,
+// tentatively complete a piggybacked packet, or finish a basic exchange.
+func (m *MACAW) onDataAirDone() {
+	m.timer = sim.Event{}
+	head, wantAck := m.txHead, m.txWantAck
+	m.tx, m.txHead, m.txWantAck = txNone, nil, false
+	if wantAck {
+		m.setState(WFACK)
+		m.setTimer(m.env.Cfg.CTSWait(), m.onACKTimeout)
+		return
+	}
+	if m.opt.Exchange.HasACK() {
+		// Piggyback mode: tentatively complete; the packet is held
+		// aside until the next CTS confirms it.
+		q := m.queueFor(head.Dst)
+		if q != nil && q.Peek() == head {
+			q.Pop()
+			m.noteQueue("pop", head.Dst)
 		}
-		if m.opt.Exchange.HasACK() {
-			// Piggyback mode: tentatively complete; the packet is
-			// held aside until the next CTS confirms it.
-			q := m.queueFor(head.Dst)
-			if q != nil && q.Peek() == head {
-				q.Pop()
-				m.noteQueue("pop", head.Dst)
-			}
-			m.pending[head.Dst] = head
-			m.attempts[head.Dst] = 0
-			m.stats.DataSent++
-			m.next()
-			return
-		}
-		// Basic exchange: the transmission is complete.
-		m.completeSend(head.Dst)
-	})
+		m.pending[head.Dst] = head
+		m.attempts[head.Dst] = 0
+		m.stats.DataSent++
+		m.next()
+		return
+	}
+	// Basic exchange: the transmission is complete.
+	m.completeSend(head.Dst)
+}
+
+// onCtrlSent resumes after a standalone control frame (ACK or NACK) leaves
+// the air.
+func (m *MACAW) onCtrlSent() {
+	m.timer = sim.Event{}
+	m.tx = txNone
+	m.next()
 }
 
 // completeSend finishes the head packet toward dst.
@@ -1172,7 +1232,8 @@ func (m *MACAW) sendAck(dst frame.NodeID, seq uint32) {
 	air := m.transmit(ack)
 	m.stats.ACKSent++
 	m.setState(SendData)
-	m.setTimer(air, func() { m.timer = sim.Event{}; m.next() })
+	m.tx = txCtrl
+	m.setTimer(air, m.onCtrlSent)
 }
 
 // onRRTS answers a Request-for-RTS (control rule 13): transmit the RTS

@@ -27,6 +27,17 @@ func (s *StreamQueues) AppendState(b []byte) []byte {
 	return b
 }
 
+// AppendPacketRef appends a named reference to an in-flight packet (or nil)
+// using the same identity fields as the queue dump — the engines' sending /
+// txHead continuation fields are inventory: a fork that lost track of the
+// packet its pending air-time timer completes must diverge visibly here.
+func AppendPacketRef(b []byte, name string, p *Packet) []byte {
+	if p == nil {
+		return fmt.Appendf(b, " %s=nil", name)
+	}
+	return fmt.Appendf(b, " %s={dst=%d size=%d seq=%d enq=%d pay=%d}", name, p.Dst, p.Size, p.seq, p.Enqueued, len(p.Payload))
+}
+
 // AppendState appends the MAC counters (part of each engine's dump).
 func (st Stats) AppendState(b []byte) []byte {
 	return fmt.Appendf(b, "macstats data=%d rx=%d rts=%d retries=%d drops=%d cts=%d ds=%d ack=%d rrts=%d\n",

@@ -1,12 +1,18 @@
 package token
 
-import "fmt"
+import (
+	"fmt"
+
+	"macaw/internal/mac"
+)
 
 // AppendState appends the engine's full FSM state for the snapshot
 // inventory (DESIGN.md §14).
 func (t *Token) AppendState(b []byte) []byte {
-	b = fmt.Appendf(b, "token st=%s ringPos=%d passTo=%d sentThis=%d timer=%d watchdog=%d seq=%d regen=%d skips=%d\n",
-		t.st, t.ringPos, t.passTo, t.sentThis, t.timer.When(), t.watchdog.When(), t.seq, t.Regenerations, t.Skips)
+	b = fmt.Appendf(b, "token st=%s ringPos=%d passTo=%d sentThis=%d skipNext=%d timer=%d watchdog=%d seq=%d regen=%d skips=%d",
+		t.st, t.ringPos, t.passTo, t.sentThis, t.skipNext, t.timer.When(), t.watchdog.When(), t.seq, t.Regenerations, t.Skips)
+	b = mac.AppendPacketRef(b, "sending", t.sending)
+	b = append(b, '\n')
 	b = t.q.AppendState(b)
 	b = t.stats.AppendState(b)
 	return b

@@ -91,6 +91,12 @@ type Token struct {
 	ringPos  int // own index in the ring
 	passTo   int // ring index the token was passed to (Passing state)
 	sentThis int // packets sent during the current possession
+	// sending is the packet on the air during a possession (already popped
+	// off the queue), completed by onDataSent.
+	sending *mac.Packet
+	// skipNext is the skip distance the Passing watch timer will retry
+	// with when the successor never shows life.
+	skipNext int
 	timer    sim.Event
 	watchdog sim.Event
 	seq      uint32
@@ -188,12 +194,35 @@ func (t *Token) serve() {
 	t.sentThis++
 	data := &frame.Frame{Type: frame.DATA, Src: t.env.ID(), Dst: head.Dst, DataBytes: uint16(head.Size), Seq: head.Seq(), Payload: head.Payload}
 	air := t.env.Radio.Transmit(data)
-	t.setTimer(air, func() {
-		t.timer = sim.Event{}
-		t.stats.DataSent++
-		t.env.Callbacks.NotifySent(head)
-		t.serve()
-	})
+	t.sending = head
+	t.setTimer(air, t.onDataSent)
+}
+
+// onDataSent completes the data frame on the air and keeps serving.
+func (t *Token) onDataSent() {
+	t.timer = sim.Event{}
+	head := t.sending
+	t.sending = nil
+	t.stats.DataSent++
+	t.env.Callbacks.NotifySent(head)
+	t.serve()
+}
+
+// onHoldPause resumes serving after a held-token pause: either the recovery
+// pause taken when every successor looked dead, or the one-slot self-pass of
+// a ring of one. Both reopen the possession budget.
+func (t *Token) onHoldPause() {
+	t.timer = sim.Event{}
+	t.sentThis = 0
+	t.serve()
+}
+
+// onWatchTimeout fires when the successor the token was passed to never
+// showed life: skip it and pass further around the ring.
+func (t *Token) onWatchTimeout() {
+	t.timer = sim.Event{}
+	t.Skips++
+	t.pass(t.skipNext)
 }
 
 // pass hands the token to the skip-th successor and watches for it to show
@@ -203,31 +232,22 @@ func (t *Token) pass(skip int) {
 		// Everyone else looks dead; keep the token and try again after
 		// a recovery pause.
 		t.st = Holding
-		t.setTimer(sim.Duration(t.opt.RecoverySlots)*t.env.Cfg.Slot(), func() {
-			t.timer = sim.Event{}
-			t.sentThis = 0
-			t.serve()
-		})
+		t.setTimer(sim.Duration(t.opt.RecoverySlots)*t.env.Cfg.Slot(), t.onHoldPause)
 		return
 	}
 	t.passTo = (t.ringPos + skip) % len(t.opt.Ring)
 	succ := t.opt.Ring[t.passTo]
 	if succ == t.env.ID() {
-		// Ring of one: keep serving.
+		// Ring of one: keep serving after a slot's pause.
 		t.sentThis = 0
-		t.setTimer(t.env.Cfg.Slot(), func() { t.timer = sim.Event{}; t.serve() })
+		t.setTimer(t.env.Cfg.Slot(), t.onHoldPause)
 		return
 	}
 	tok := &frame.Frame{Type: frame.TOKEN, Src: t.env.ID(), Dst: succ}
 	air := t.env.Radio.Transmit(tok)
 	t.st = Passing
-	skipNext := skip + 1
-	t.setTimer(air+sim.Duration(t.opt.WatchSlots)*t.env.Cfg.Slot(), func() {
-		t.timer = sim.Event{}
-		// The successor never showed life: skip it.
-		t.Skips++
-		t.pass(skipNext)
-	})
+	t.skipNext = skip + 1
+	t.setTimer(air+sim.Duration(t.opt.WatchSlots)*t.env.Cfg.Slot(), t.onWatchTimeout)
 }
 
 // RadioCarrier implements phy.Handler; token access needs no carrier sense.

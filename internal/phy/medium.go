@@ -67,6 +67,9 @@ type transmission struct {
 	// seq is the global start-order stamp. Per-radio audible lists stay
 	// sorted by it, which is exactly the active-list (summation) order.
 	seq uint64
+	// endEv is the scheduled end-of-transmission event, retained so a
+	// warm-started fork can re-arm the completion at its exact ordering key.
+	endEv sim.Event
 }
 
 // NoiseSource is a positional energy emitter (e.g. the Figure 11 electronic
@@ -665,7 +668,7 @@ func (m *Medium) startTx(r *Radio, f *frame.Frame) sim.Duration {
 	// spawns at priority -1) must precede any same-instant MAC timer, or
 	// a station whose contention slot lands exactly at a frame boundary
 	// would transmit without having "heard" the frame that just ended.
-	m.s.AtPriorityCall(tx.end, -2, endTxCall, m, tx)
+	tx.endEv = m.s.AtPriorityCall(tx.end, -2, endTxCall, m, tx)
 	return air
 }
 
@@ -723,6 +726,7 @@ func (m *Medium) endTx(tx *transmission) {
 	}
 	tx.rx = tx.rx[:0]
 	tx.radio, tx.f = nil, nil
+	tx.endEv = sim.Event{}
 	m.txFree = append(m.txFree, tx)
 	if m.useIndex() {
 		m.updateCarrierFor(src.nbr)

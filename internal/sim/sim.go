@@ -119,8 +119,11 @@ func (r *Event) Cancel() {
 // Cancelled reports whether Cancel has been called on the event through
 // this handle (or, while the event is still pending, through any handle).
 func (r *Event) Cancelled() bool {
-	if r == nil || r.e == nil {
+	if r == nil {
 		return false
+	}
+	if r.e == nil {
+		return r.cancelled
 	}
 	if r.e.seq == r.seq {
 		return r.e.cancelled

@@ -31,6 +31,30 @@ func FuzzDecode(f *testing.F) {
 	huge[len(huge)-12] = 0xFF // inflate the state length field
 	f.Add(huge)
 
+	// Delta-section shapes (version 2): a valid delta-carrying snapshot; a
+	// truncation landing inside the delta section; a CRC-valid file whose
+	// delta kind no applying layer knows; and a CRC-valid file declaring a
+	// fault.* delta — one that invalidates the captured state, so it must
+	// decode cleanly here and fail closed only at apply time.
+	v2 := sampleV2().Encode()
+	f.Add(v2)
+	deltaOff := len(v2) - 8 - 4 - len(sampleV2().State) - 8 // mid f64 value
+	f.Add(v2[:deltaOff])
+	unknown := sampleV2()
+	unknown.Delta.Kind = "no.such.knob"
+	f.Add(unknown.Encode())
+	invalidates := sampleV2()
+	invalidates.Delta = &Delta{Kind: "fault.crash", Value: 1}
+	f.Add(invalidates.Encode())
+	descOnly := sampleV2()
+	descOnly.Delta = nil
+	f.Add(descOnly.Encode())
+	badFlag := append([]byte(nil), descOnly.Encode()...)
+	// Flip the delta presence flag to a non-canonical value; the CRC also
+	// breaks, which is the point — two independent rejections of one byte.
+	badFlag[len(badFlag)-8-4-len(descOnly.State)-1] = 2
+	f.Add(badFlag)
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		s, err := Decode(data)
 		if err != nil {

@@ -31,6 +31,10 @@ type Manifest struct {
 
 var manifestMagic = [8]byte{'M', 'A', 'C', 'A', 'W', 'M', 'A', 'N'}
 
+// manifestVersion is the ledger's own format version, independent of the
+// snapshot container's: bumping one must not orphan files of the other.
+const manifestVersion = 1
+
 // OpenManifest loads the manifest at path, or returns an empty one bound to
 // path when the file does not exist. A malformed file returns a typed error
 // (ErrBadMagic/ErrVersion/ErrChecksum/ErrTruncated) and a fresh empty
@@ -104,7 +108,7 @@ func (m *Manifest) encode() []byte {
 	}
 	b := make([]byte, 0, 8+4+payload.Len()+8)
 	b = append(b, manifestMagic[:]...)
-	b = binary.LittleEndian.AppendUint32(b, Version)
+	b = binary.LittleEndian.AppendUint32(b, manifestVersion)
 	b = append(b, payload.Bytes()...)
 	b = binary.LittleEndian.AppendUint64(b, crc64.Checksum(b, crcTable))
 	return b
@@ -123,8 +127,8 @@ func (m *Manifest) decode(data []byte) error {
 	if string(data[:len(manifestMagic)]) != string(manifestMagic[:]) {
 		return ErrBadMagic
 	}
-	if v := binary.LittleEndian.Uint32(data[len(manifestMagic):]); v != Version {
-		return fmt.Errorf("%w: got %d, want %d", ErrVersion, v, Version)
+	if v := binary.LittleEndian.Uint32(data[len(manifestMagic):]); v != manifestVersion {
+		return fmt.Errorf("%w: got %d, want %d", ErrVersion, v, manifestVersion)
 	}
 	body, trailer := data[:len(data)-8], data[len(data)-8:]
 	if crc64.Checksum(body, crcTable) != binary.LittleEndian.Uint64(trailer) {

@@ -35,8 +35,19 @@
 //	audit   u8    whether the run is oracle-audited
 //	table   u16-len string (generator id, e.g. "table4" or "chaos")
 //	run     u16-len string (run label, e.g. "table4/MACAW/p=0.1")
+//	-- version 2 only --
+//	desc    u16-len string (the full config description the hash is of)
+//	delta   u8 presence flag; when 1: kind u16-len string, value f64 bits
+//	-- all versions --
 //	state   u32-len bytes (the canonical state inventory)
 //	crc     u64   CRC-64/ECMA of everything above
+//
+// Version 2 adds the plain-text config description (so a mismatch can name
+// the first differing rebuild parameter instead of two opaque hashes) and
+// the typed parameter delta of a warm-started sweep variant. A snapshot
+// carrying neither encodes as version 1 — the format keeps exactly one
+// encoding per snapshot, which is what lets the fuzz target demand that
+// every successful decode re-encodes to its input bytes.
 //
 // Every decode failure is a typed error (ErrBadMagic, ErrVersion,
 // ErrTruncated, ErrChecksum); decode never panics, whatever the input —
@@ -49,6 +60,7 @@ import (
 	"fmt"
 	"hash/crc64"
 	"hash/fnv"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -77,12 +89,28 @@ var (
 	ErrDiverged = errors.New("snapshot: replayed state diverged")
 )
 
-// Version is the current format version.
-const Version = 1
+// Version is the current format version. Version 1 files (no config
+// description, no delta) still decode; snapshots carrying neither v2 field
+// still encode as version 1, keeping one canonical encoding per snapshot.
+const Version = 2
+
+// versionLegacy is the pre-delta container layout.
+const versionLegacy = 1
 
 var magic = [8]byte{'M', 'A', 'C', 'A', 'W', 'S', 'N', 'P'}
 
 var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// Delta is the typed parameter change a warm-started sweep variant applies
+// at the snapshot's barrier: one knob from the delta taxonomy (DESIGN.md
+// §15) and its value. Whether a kind is applicable — or invalidates the
+// captured state entirely — is decided by the applying layer
+// (core.ApplyDelta), which fails closed with typed errors; the container
+// only carries the declaration.
+type Delta struct {
+	Kind  string
+	Value float64
+}
 
 // Snapshot is one decoded checkpoint.
 type Snapshot struct {
@@ -94,6 +122,8 @@ type Snapshot struct {
 	Audit      bool
 	Table      string // generator id, resolves the rebuild recipe
 	Run        string // run label within the generator
+	Desc       string // canonical config description ("" in v1 files)
+	Delta      *Delta // sweep-variant parameter delta (nil = none)
 	State      []byte // canonical state inventory at Barrier
 }
 
@@ -106,12 +136,19 @@ func ConfigHash(desc string) uint64 {
 	return h.Sum64()
 }
 
-// Encode renders the snapshot in the versioned container format.
+// Encode renders the snapshot in the versioned container format: version 2
+// when it carries a config description or a delta, the legacy version 1
+// layout otherwise, so every snapshot has exactly one encoding.
 func (s *Snapshot) Encode() []byte {
-	n := 8 + 4 + 8 + 8 + 8 + 8 + 8 + 1 + 2 + len(s.Table) + 2 + len(s.Run) + 4 + len(s.State) + 8
+	version := uint32(versionLegacy)
+	if s.Desc != "" || s.Delta != nil {
+		version = Version
+	}
+	n := 8 + 4 + 8 + 8 + 8 + 8 + 8 + 1 + 2 + len(s.Table) + 2 + len(s.Run) +
+		2 + len(s.Desc) + 1 + 4 + len(s.State) + 8
 	b := make([]byte, 0, n)
 	b = append(b, magic[:]...)
-	b = binary.LittleEndian.AppendUint32(b, Version)
+	b = binary.LittleEndian.AppendUint32(b, version)
 	b = binary.LittleEndian.AppendUint64(b, s.ConfigHash)
 	b = binary.LittleEndian.AppendUint64(b, uint64(s.Seed))
 	b = binary.LittleEndian.AppendUint64(b, uint64(s.Barrier))
@@ -124,6 +161,16 @@ func (s *Snapshot) Encode() []byte {
 	}
 	b = appendString16(b, s.Table)
 	b = appendString16(b, s.Run)
+	if version >= Version {
+		b = appendString16(b, s.Desc)
+		if s.Delta != nil {
+			b = append(b, 1)
+			b = appendString16(b, s.Delta.Kind)
+			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(s.Delta.Value))
+		} else {
+			b = append(b, 0)
+		}
+	}
 	b = binary.LittleEndian.AppendUint32(b, uint32(len(s.State)))
 	b = append(b, s.State...)
 	b = binary.LittleEndian.AppendUint64(b, crc64.Checksum(b, crcTable))
@@ -195,8 +242,9 @@ func Decode(data []byte) (*Snapshot, error) {
 	if len(data) < len(magic)+4+8 {
 		return nil, ErrTruncated
 	}
-	if v := binary.LittleEndian.Uint32(data[len(magic):]); v != Version {
-		return nil, fmt.Errorf("%w: got %d, want %d", ErrVersion, v, Version)
+	v := binary.LittleEndian.Uint32(data[len(magic):])
+	if v != versionLegacy && v != Version {
+		return nil, fmt.Errorf("%w: got %d, want %d or %d", ErrVersion, v, versionLegacy, Version)
 	}
 	// The CRC trailer covers everything before it; check it before
 	// trusting any length field.
@@ -216,6 +264,26 @@ func Decode(data []byte) (*Snapshot, error) {
 	}
 	s.Table = c.str16()
 	s.Run = c.str16()
+	if v >= Version {
+		s.Desc = c.str16()
+		switch p := c.take(1); {
+		case p == nil:
+		case p[0] == 1:
+			d := &Delta{}
+			d.Kind = c.str16()
+			d.Value = math.Float64frombits(c.u64())
+			s.Delta = d
+		case p[0] != 0:
+			// Any flag byte beyond 0/1 has no canonical meaning.
+			return nil, fmt.Errorf("%w: delta flag %#x", ErrTruncated, p[0])
+		}
+		if c.err == nil && s.Desc == "" && s.Delta == nil {
+			// A v2 container carrying neither v2 field would re-encode
+			// as v1 — two encodings for one snapshot. Reject it so the
+			// format stays canonical.
+			return nil, fmt.Errorf("%w: version 2 container with no v2 fields", ErrTruncated)
+		}
+	}
 	s.State = append([]byte(nil), c.take(int(c.u32()))...)
 	if c.err != nil {
 		return nil, c.err
@@ -261,6 +329,40 @@ func (s *Snapshot) Matches(configHash uint64, seed int64, run string) error {
 		return fmt.Errorf("%w: config hash %#x, run config hash %#x", ErrMismatch, s.ConfigHash, configHash)
 	}
 	return nil
+}
+
+// MatchesConfig is Matches against the restoring run's full config
+// description instead of its bare hash. When a v2 snapshot carries its own
+// description, a hash mismatch names the first differing rebuild parameter
+// ("total=120000000000 in the snapshot vs total=40000000000 here") instead
+// of two opaque hashes; v1 snapshots fall back to the hash comparison.
+func (s *Snapshot) MatchesConfig(desc string, seed int64, run string) error {
+	err := s.Matches(ConfigHash(desc), seed, run)
+	if err == nil || s.Desc == "" || !errors.Is(err, ErrMismatch) {
+		return err
+	}
+	if diff := DescDiff(s.Desc, desc); diff != "" {
+		return fmt.Errorf("%w: %s", ErrMismatch, diff)
+	}
+	return err
+}
+
+// DescDiff compares two canonical config descriptions ("k=v|k=v|…") and
+// renders the first differing parameter, or "" when they agree. A field
+// present on only one side is reported as missing on the other.
+func DescDiff(snap, here string) string {
+	a, b := strings.Split(snap, "|"), strings.Split(here, "|")
+	for i := 0; i < len(a) || i < len(b); i++ {
+		switch {
+		case i >= len(b):
+			return fmt.Sprintf("snapshot has %q, this run does not", a[i])
+		case i >= len(a):
+			return fmt.Sprintf("this run has %q, the snapshot does not", b[i])
+		case a[i] != b[i]:
+			return fmt.Sprintf("%s in the snapshot vs %s here", a[i], b[i])
+		}
+	}
+	return ""
 }
 
 // WriteFile atomically writes the snapshot to path (tmp + rename), so a

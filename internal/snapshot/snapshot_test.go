@@ -1,7 +1,9 @@
 package snapshot
 
 import (
+	"encoding/binary"
 	"errors"
+	"hash/crc64"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -173,5 +175,91 @@ func TestManifestCorruptionFailsClosed(t *testing.T) {
 	}
 	if re == nil || re.Len() != 0 {
 		t.Fatal("corrupted manifest must yield a fresh empty ledger")
+	}
+}
+
+func sampleV2() *Snapshot {
+	s := sample()
+	s.Desc = "v1|table=table4|run=table4/MACAW|total=120000000000|warmup=10000000000|seed=7|audit=true"
+	s.Delta = &Delta{Kind: "backoff.max", Value: 32}
+	return s
+}
+
+func TestV2RoundTrip(t *testing.T) {
+	for _, s := range []*Snapshot{
+		sampleV2(),
+		func() *Snapshot { s := sampleV2(); s.Delta = nil; return s }(),
+		func() *Snapshot { s := sampleV2(); s.Desc = ""; return s }(),
+	} {
+		got, err := Decode(s.Encode())
+		if err != nil {
+			t.Fatalf("Decode: %v", err)
+		}
+		if !reflect.DeepEqual(s, got) {
+			t.Fatalf("v2 round trip mismatch:\n  in:  %+v\n  out: %+v", s, got)
+		}
+	}
+}
+
+// TestEncodeIsCanonicalAcrossVersions pins the one-encoding-per-snapshot
+// property: a snapshot with no v2 fields emits the legacy v1 container, and
+// a hand-built v2 container carrying no v2 fields is rejected.
+func TestEncodeIsCanonicalAcrossVersions(t *testing.T) {
+	legacy := sample().Encode()
+	if v := legacy[8]; v != versionLegacy {
+		t.Fatalf("delta-free snapshot encoded as version %d, want %d", v, versionLegacy)
+	}
+	v2 := sampleV2().Encode()
+	if v := v2[8]; v != Version {
+		t.Fatalf("delta snapshot encoded as version %d, want %d", v, Version)
+	}
+	// Splice a v1 body into a v2 header with empty desc and no delta.
+	s := sample()
+	s.Desc = "x"
+	forged := s.Encode()
+	// Shrink desc "x" to "" in place: len 1 -> 0, drop the byte, re-CRC.
+	off := 8 + 4 + 8 + 8 + 8 + 8 + 8 + 1 + 2 + len(s.Table) + 2 + len(s.Run)
+	forged = append(forged[:off], forged[off+2+1:]...)
+	binary.LittleEndian.PutUint16(forged[off:], 0)
+	forged = forged[:len(forged)-8]
+	forged = binary.LittleEndian.AppendUint64(forged, crc64.Checksum(forged, crcTable))
+	if _, err := Decode(forged); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("v2 container with no v2 fields: got %v, want ErrTruncated", err)
+	}
+}
+
+func TestMatchesConfigNamesFirstDifferingParameter(t *testing.T) {
+	s := sampleV2()
+	if err := s.MatchesConfig(s.Desc, s.Seed, s.Run); err != nil {
+		t.Fatalf("matching desc: %v", err)
+	}
+	drifted := strings.Replace(s.Desc, "total=120000000000", "total=40000000000", 1)
+	err := s.MatchesConfig(drifted, s.Seed, s.Run)
+	if !errors.Is(err, ErrMismatch) {
+		t.Fatalf("got %v, want ErrMismatch", err)
+	}
+	for _, want := range []string{"total=120000000000", "total=40000000000"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("mismatch error %q does not name the differing parameter %q", err, want)
+		}
+	}
+	// A v1 snapshot (no stored desc) falls back to the hash comparison.
+	v1 := sample()
+	err = v1.MatchesConfig(drifted, v1.Seed, v1.Run)
+	if !errors.Is(err, ErrMismatch) || !strings.Contains(err.Error(), "config hash") {
+		t.Fatalf("v1 fallback: got %v, want bare hash ErrMismatch", err)
+	}
+}
+
+func TestDescDiff(t *testing.T) {
+	for _, tc := range []struct{ a, b, want string }{
+		{"v1|a=1|b=2", "v1|a=1|b=2", ""},
+		{"v1|a=1|b=2", "v1|a=1|b=3", "b=2 in the snapshot vs b=3 here"},
+		{"v1|a=1|b=2", "v1|a=1", `snapshot has "b=2", this run does not`},
+		{"v1|a=1", "v1|a=1|delta=load.rate:48", `this run has "delta=load.rate:48", the snapshot does not`},
+	} {
+		if got := DescDiff(tc.a, tc.b); got != tc.want {
+			t.Errorf("DescDiff(%q, %q) = %q, want %q", tc.a, tc.b, got, tc.want)
+		}
 	}
 }

@@ -1,0 +1,16 @@
+package stats
+
+import "fmt"
+
+// AdoptFrom copies src's counters into w (DESIGN.md §15). The measurement
+// window is build-time configuration and must already match — a fork is only
+// valid against a twin armed over the same [warmup, end) interval.
+func (w *Windowed) AdoptFrom(src *Windowed) error {
+	if w.warmup != src.warmup || w.end != src.end {
+		return fmt.Errorf("stats: adopt: window [%d,%d) here vs [%d,%d) in warm twin",
+			w.warmup, w.end, src.warmup, src.end)
+	}
+	w.count = src.count
+	w.total = src.total
+	return nil
+}

@@ -1,0 +1,15 @@
+package transport
+
+import "fmt"
+
+// AdoptFrom copies w's sequence cursor and send tally into u (DESIGN.md §15).
+// The endpoint binding is build-time configuration and must already match.
+func (u *UDPSender) AdoptFrom(w *UDPSender) error {
+	if u.dst != w.dst || u.stream != w.stream {
+		return fmt.Errorf("transport: adopt: udp sender %d/%d here vs %d/%d in warm twin",
+			u.dst, u.stream, w.dst, w.stream)
+	}
+	u.next = w.next
+	u.sent = w.sent
+	return nil
+}

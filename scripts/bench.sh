@@ -56,6 +56,19 @@ for jobs in 2 4; do
 done
 echo "-jobs output byte-identical across 1/2/4 workers" >&2
 
+echo "timing warm-started sweep vs cold (16 variants, warmup-dominated)..." >&2
+sweep_spec="backoff.max=4,8,16,32;mild.inc=1.5,2,2.5,3;mild.dec=1,2,4,8;load.rate=40,48,56,64"
+start=$(date +%s%N)
+"$tmp/macawsim" -sweep "$sweep_spec" -total 60 -warmup 50 -sweep-cold > "$tmp/sweep_cold.txt" 2> /dev/null
+end=$(date +%s%N); sweep_cold_ms=$(( (end - start) / 1000000 ))
+start=$(date +%s%N)
+"$tmp/macawsim" -sweep "$sweep_spec" -total 60 -warmup 50 > "$tmp/sweep_warm.txt" 2> /dev/null
+end=$(date +%s%N); sweep_warm_ms=$(( (end - start) / 1000000 ))
+sed 's/(warm-started)/(cold)/' "$tmp/sweep_warm.txt" | cmp -s - "$tmp/sweep_cold.txt" ||
+    { echo "FATAL: warm-started sweep output differs from cold" >&2; exit 1; }
+echo "sweep: cold ${sweep_cold_ms}ms, warm ${sweep_warm_ms}ms (output byte-identical)" >&2
+echo "$sweep_cold_ms $sweep_warm_ms" > "$tmp/sweep.txt"
+
 awk -v nproc="$(nproc)" '
 BEGIN { n = 0; m = 0; s = 0; h = 0 }
 # bench.txt: per-table simulator benchmarks.
@@ -89,8 +102,10 @@ FILENAME ~ /shard\.txt$/ && $1 ~ /^BenchmarkScaleN10000\// {
     next
 }
 FILENAME ~ /jobs\.txt$/ { jobs_n[m] = $1; jobs_ms[m] = $2; m++ }
+# sweep.txt: cold-vs-warm 16-variant sweep wall-clock.
+FILENAME ~ /sweep\.txt$/ { sweep_cold = $1; sweep_warm = $2; have_sweep = 1 }
 END {
-    printf "{\n  \"note\": \"ns_per_op measures simulator speed; pps measures protocol behaviour and must not move at a fixed seed; jobs entries are macawsim -total 40 -warmup 5 wall-clock ms (output verified byte-identical across jobs; wall-clock speedup requires nproc > 1). scaling entries compare the neighborhood-indexed medium with the exhaustive all-radios iteration on seeded random building topologies: pps is identical by construction (the index is bit-exact), avg_neighbors is the mean relevance-set size the indexed per-event cost tracks, and the indexed/exhaustive ns_per_op ratio is the medium speedup. sharding entries run the 10000-station city topology serially and on the component-parallel engine at 2/4/8 shards: pps is bit-identical by construction (the benchmark fails if it moves), components counts the causally independent radio components, and speedup is serial ns_per_op over the mode ns_per_op (decomposition shrinks per-heap and per-cache costs, so speedup > 1 even at nproc = 1).\",\n"
+    printf "{\n  \"note\": \"ns_per_op measures simulator speed; pps measures protocol behaviour and must not move at a fixed seed; jobs entries are macawsim -total 40 -warmup 5 wall-clock ms (output verified byte-identical across jobs; wall-clock speedup requires nproc > 1). scaling entries compare the neighborhood-indexed medium with the exhaustive all-radios iteration on seeded random building topologies: pps is identical by construction (the index is bit-exact), avg_neighbors is the mean relevance-set size the indexed per-event cost tracks, and the indexed/exhaustive ns_per_op ratio is the medium speedup. sharding entries run the 10000-station city topology serially and on the component-parallel engine at 2/4/8 shards: pps is bit-identical by construction (the benchmark fails if it moves), components counts the causally independent radio components, and speedup is serial ns_per_op over the mode ns_per_op (decomposition shrinks per-heap and per-cache costs, so speedup > 1 even at nproc = 1). the sweep entry times macawsim -sweep with 16 variants x 4 protocols at -total 60 -warmup 50, warm-started (one warmup per protocol, forked into every variant) vs -sweep-cold (every variant from scratch); the rendered tables are byte-identical by construction (the script fails if they differ), so speedup is pure warm-start win.\",\n"
     printf "  \"nproc\": %d,\n", nproc
     printf "  \"benchmarks\": {\n"
     for (i = 0; i < n; i++) {
@@ -117,11 +132,18 @@ END {
             printf ", \"speedup\": %.2f", hns["serial"] / hns[mode]
         printf "}%s\n", (i < h - 1 ? "," : "")
     }
+    printf "  },\n  \"sweep\": {\n"
+    if (have_sweep) {
+        printf "    \"variants\": 16, \"protocols\": 4,\n"
+        printf "    \"cold_ms\": %s, \"warm_ms\": %s", sweep_cold, sweep_warm
+        if (sweep_warm > 0) printf ", \"speedup\": %.2f", sweep_cold / sweep_warm
+        printf "\n"
+    }
     printf "  },\n  \"jobs_wallclock_ms\": {\n"
     for (i = 0; i < m; i++)
         printf "    \"%s\": %s%s\n", jobs_n[i], jobs_ms[i], (i < m - 1 ? "," : "")
     printf "  }\n}\n"
-}' "$tmp/bench.txt" "$tmp/scale.txt" "$tmp/shard.txt" "$tmp/jobs.txt" > "$out"
+}' "$tmp/bench.txt" "$tmp/scale.txt" "$tmp/shard.txt" "$tmp/jobs.txt" "$tmp/sweep.txt" > "$out"
 
 if [ -n "$raw" ]; then
     # Concatenate the per-table and sharding passes so perfgate gates both;

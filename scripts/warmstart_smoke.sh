@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Warm-started sweep smoke (DESIGN.md §15), as the user drives it:
+#
+#   1. a warm-started 16-variant sweep renders byte-identically to the cold
+#      sweep that simulates every variant from scratch
+#   2. the warm-state cache round-trips: a second sweep byte-verifies its
+#      warmups against every cached entry
+#   3. a corrupted cache entry is rewarmed and overwritten, to the same bytes
+#   4. on a warmup-dominated sweep the warm start is >= 2x faster wall-clock
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+dir="$(mktemp -d)"
+trap 'rm -rf "$dir"' EXIT
+
+go build -o "$dir/macawsim" ./cmd/macawsim
+spec="backoff.max=4,8,16,32;mild.inc=1.5,2,2.5,3;mild.dec=1,2,4,8;load.rate=40,48,56,64"
+
+echo "== 1. warm fork is byte-identical to cold =="
+"$dir/macawsim" -sweep "$spec" -total 12 -warmup 4 -audit -warm-cache "$dir/cache" \
+  > "$dir/warm.txt" 2> "$dir/warm_err.txt"
+"$dir/macawsim" -sweep "$spec" -total 12 -warmup 4 -audit -sweep-cold \
+  > "$dir/cold.txt" 2> /dev/null
+# The title names the mode; every measured byte must agree.
+diff -u <(sed 's/(warm-started)/(cold)/' "$dir/warm.txt") "$dir/cold.txt"
+grep -q "16 variants x 4 protocols (4 warmups, 64 forks" "$dir/warm_err.txt"
+
+echo "== 2. the warm cache verifies on the second sweep =="
+grep -q "cache 0 hits / 4 writes" "$dir/warm_err.txt"
+"$dir/macawsim" -sweep "$spec" -total 12 -warmup 4 -audit -warm-cache "$dir/cache" \
+  > "$dir/warm2.txt" 2> "$dir/warm2_err.txt"
+grep -q "cache 4 hits / 0 writes" "$dir/warm2_err.txt"
+diff -u "$dir/warm.txt" "$dir/warm2.txt"
+
+echo "== 3. a corrupted cache entry is rewarmed and overwritten =="
+f="$(ls "$dir/cache"/warm-*.snap | head -1)"
+dd if=/dev/zero of="$f" bs=1 count=8 seek=40 conv=notrunc status=none
+"$dir/macawsim" -sweep "$spec" -total 12 -warmup 4 -audit -warm-cache "$dir/cache" \
+  > "$dir/warm3.txt" 2> "$dir/warm3_err.txt"
+grep -q "cache 3 hits / 1 writes" "$dir/warm3_err.txt"
+diff -u "$dir/warm.txt" "$dir/warm3.txt"
+
+echo "== 4. warm start is >= 2x faster on a warmup-dominated sweep =="
+start=$(date +%s%N)
+"$dir/macawsim" -sweep "$spec" -total 60 -warmup 50 -sweep-cold > "$dir/speed_cold.txt" 2> /dev/null
+end=$(date +%s%N); cold_ms=$(( (end - start) / 1000000 ))
+start=$(date +%s%N)
+"$dir/macawsim" -sweep "$spec" -total 60 -warmup 50 > "$dir/speed_warm.txt" 2> /dev/null
+end=$(date +%s%N); warm_ms=$(( (end - start) / 1000000 ))
+diff -u <(sed 's/(warm-started)/(cold)/' "$dir/speed_warm.txt") "$dir/speed_cold.txt"
+echo "cold ${cold_ms}ms, warm ${warm_ms}ms"
+if [ $(( warm_ms * 2 )) -gt "$cold_ms" ]; then
+  echo "FATAL: warm-started sweep is not >= 2x faster (cold ${cold_ms}ms, warm ${warm_ms}ms)" >&2
+  exit 1
+fi
+
+echo "warmstart smoke: OK"
