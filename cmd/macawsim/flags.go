@@ -1,0 +1,62 @@
+package main
+
+import "fmt"
+
+// This file validates flag combinations immediately after flag.Parse, before
+// any work (or file creation) happens. Three combinations are contradictory
+// and historically failed silently — -restore returned before the -sweep
+// branch was ever reached, the warm-cache knobs were read only inside the
+// sweep path, and -checkpoint-every forced runs onto the serial engine so
+// -shards was ignored. Each now fails closed with a FlagConflictError naming
+// both flags, so the caller learns which half of the contradiction to drop.
+
+// FlagConflictError reports two flags that cannot be combined (or a flag
+// whose prerequisite flag is missing). Flag is the flag being rejected;
+// Other is the flag it conflicts with or requires.
+type FlagConflictError struct {
+	Flag   string // the rejected flag, e.g. "-restore"
+	Other  string // the flag it conflicts with or requires, e.g. "-sweep"
+	Reason string // one clause explaining the contradiction
+}
+
+func (e *FlagConflictError) Error() string {
+	return fmt.Sprintf("flag %s conflicts with %s: %s", e.Flag, e.Other, e.Reason)
+}
+
+// flagSet is the subset of parsed flag state the validator inspects.
+type flagSet struct {
+	sweep        string
+	restore      string
+	warmCache    string
+	warmCacheMax int
+	sweepCold    bool
+	checkEvery   float64
+	shards       int
+}
+
+// validateFlags rejects contradictory flag combinations with a typed error
+// naming both flags. It runs before any flag takes effect, so a rejected
+// invocation leaves no partial output behind.
+func validateFlags(f flagSet) error {
+	if f.sweep != "" && f.restore != "" {
+		return &FlagConflictError{Flag: "-restore", Other: "-sweep",
+			Reason: "a restored run replays one recorded table; a sweep builds its own grid"}
+	}
+	if f.warmCache != "" && f.sweep == "" {
+		return &FlagConflictError{Flag: "-warm-cache", Other: "-sweep",
+			Reason: "the warm-state cache only feeds a sweep's warmup"}
+	}
+	if f.warmCacheMax != 0 && f.sweep == "" {
+		return &FlagConflictError{Flag: "-warm-cache-max", Other: "-sweep",
+			Reason: "the warm-state cache only feeds a sweep's warmup"}
+	}
+	if f.sweepCold && f.sweep == "" {
+		return &FlagConflictError{Flag: "-sweep-cold", Other: "-sweep",
+			Reason: "cold execution is a mode of the sweep grid"}
+	}
+	if f.checkEvery > 0 && f.shards > 1 {
+		return &FlagConflictError{Flag: "-checkpoint-every", Other: "-shards",
+			Reason: "checkpoint barriers require the serial event engine"}
+	}
+	return nil
+}

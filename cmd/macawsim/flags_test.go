@@ -1,0 +1,68 @@
+package main
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestFlagConflictsFailClosed pins the three contradictory flag combinations
+// that used to fail silently: -restore returned before the -sweep branch was
+// reached, the warm-cache knobs were only read inside the sweep path, and
+// -checkpoint-every forced the serial engine so -shards was ignored. Each
+// must now produce a FlagConflictError naming both flags.
+func TestFlagConflictsFailClosed(t *testing.T) {
+	cases := []struct {
+		name       string
+		fs         flagSet
+		flag, with string
+	}{
+		{"sweep+restore", flagSet{sweep: "mild.dec=2", restore: "snap.bin"}, "-restore", "-sweep"},
+		{"warm-cache without sweep", flagSet{warmCache: "cache/"}, "-warm-cache", "-sweep"},
+		{"warm-cache-max without sweep", flagSet{warmCacheMax: 4}, "-warm-cache-max", "-sweep"},
+		{"sweep-cold without sweep", flagSet{sweepCold: true}, "-sweep-cold", "-sweep"},
+		{"checkpoint-every+shards", flagSet{checkEvery: 10, shards: 4}, "-checkpoint-every", "-shards"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateFlags(tc.fs)
+			if err == nil {
+				t.Fatalf("validateFlags(%+v) = nil, want FlagConflictError", tc.fs)
+			}
+			var fc *FlagConflictError
+			if !errors.As(err, &fc) {
+				t.Fatalf("validateFlags(%+v) = %T %v, want *FlagConflictError", tc.fs, err, err)
+			}
+			if fc.Flag != tc.flag || fc.Other != tc.with {
+				t.Fatalf("conflict = (%s, %s), want (%s, %s)", fc.Flag, fc.Other, tc.flag, tc.with)
+			}
+			msg := err.Error()
+			if !strings.Contains(msg, tc.flag) || !strings.Contains(msg, tc.with) {
+				t.Fatalf("error %q does not name both %s and %s", msg, tc.flag, tc.with)
+			}
+		})
+	}
+}
+
+// TestFlagCombinationsAllowed pins the combinations that must keep working:
+// the validator only rejects contradictions, never plain usage.
+func TestFlagCombinationsAllowed(t *testing.T) {
+	cases := []struct {
+		name string
+		fs   flagSet
+	}{
+		{"defaults", flagSet{shards: 1}},
+		{"sweep alone", flagSet{sweep: "mild.dec=2", shards: 1}},
+		{"sweep with cache and cold", flagSet{sweep: "cw.min=7", warmCache: "c/", warmCacheMax: 8, sweepCold: true, shards: 1}},
+		{"restore alone", flagSet{restore: "snap.bin", shards: 1}},
+		{"checkpoint serial", flagSet{checkEvery: 10, shards: 1}},
+		{"shards without checkpoint", flagSet{shards: 8}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := validateFlags(tc.fs); err != nil {
+				t.Fatalf("validateFlags(%+v) = %v, want nil", tc.fs, err)
+			}
+		})
+	}
+}

@@ -85,6 +85,15 @@ func main() {
 	warmCacheMax := flag.Int("warm-cache-max", 0, "with -warm-cache, keep at most N warm snapshots, evicting the oldest (0 = unbounded)")
 	flag.Parse()
 
+	if err := validateFlags(flagSet{
+		sweep: *sweepSpec, restore: *restorePath,
+		warmCache: *warmCache, warmCacheMax: *warmCacheMax, sweepCold: *sweepCold,
+		checkEvery: *checkEvery, shards: *shards,
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "macawsim: %v\n", err)
+		os.Exit(2)
+	}
+
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
@@ -269,14 +278,15 @@ func restoreAndContinue(path string, cfg experiments.RunConfig, format string) {
 
 // runSweep implements -sweep: parse the variant spec, execute the sweep
 // grid (warm-started unless -sweep-cold), and render the variants-by-
-// protocol table with a one-line execution summary on stderr.
+// protocol throughput and fairness tables with a one-line execution summary
+// on stderr.
 func runSweep(cfg experiments.RunConfig, spec string, opts experiments.SweepOptions, format string) {
 	variants, err := experiments.ParseSweepSpec(spec)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "macawsim: -sweep: %v\n", err)
 		os.Exit(2)
 	}
-	tab, info, err := experiments.RunSweep(cfg, variants, opts)
+	tabs, info, err := experiments.RunSweepTables(cfg, variants, opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "macawsim: -sweep: %v\n", err)
 		os.Exit(1)
@@ -284,12 +294,16 @@ func runSweep(cfg experiments.RunConfig, spec string, opts experiments.SweepOpti
 	fmt.Fprintf(os.Stderr, "macawsim: sweep: %d variants x %d protocols (%d warmups, %d forks, %d cold runs, cache %d hits / %d writes)\n",
 		info.Variants, info.Protocols, info.Warmups, info.Forks, info.ColdRuns, info.CacheHits, info.CacheWrites)
 	if format == "csv" {
-		fmt.Printf("# %s\n%s\n", tab.ID, tab.CSV())
+		for _, tab := range tabs {
+			fmt.Printf("# %s\n%s\n", tab.ID, tab.CSV())
+		}
 		return
 	}
 	fmt.Printf("MACAW reproduction — %gs runs, %gs warmup, seed %d\n\n",
 		cfg.Total.Seconds(), cfg.Warmup.Seconds(), cfg.Seed)
-	fmt.Println(tab.Render())
+	for _, tab := range tabs {
+		fmt.Println(tab.Render())
+	}
 }
 
 // writeFile creates path and streams write into it.

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	macawtrace [-figure figureN] [-proto maca|macaw|csma] [-seconds N] [-from N] [-seed N] [-json] [-carrier]
+//	macawtrace [-figure figureN] [-proto maca|macaw|csma|token|dcf|tournament] [-seconds N] [-from N] [-seed N] [-json] [-carrier]
 //	macawtrace -jsonl [same flags]     emit a typed JSONL trace including MAC-internal events
 //	macawtrace -summarize FILE         summarize a JSONL trace (from -jsonl or macawsim -tracejson)
 //	macawtrace -from-checkpoint FILE   time-travel: restore a macawsim snapshot taken just before the
@@ -22,7 +22,10 @@ import (
 	"macaw/internal/core"
 	"macaw/internal/experiments"
 	"macaw/internal/mac/csma"
+	"macaw/internal/mac/dcf"
 	"macaw/internal/mac/macaw"
+	"macaw/internal/mac/token"
+	"macaw/internal/mac/tournament"
 	"macaw/internal/sim"
 	"macaw/internal/snapshot"
 	"macaw/internal/topo"
@@ -31,7 +34,7 @@ import (
 
 func main() {
 	figure := flag.String("figure", "figure5", "topology to run")
-	proto := flag.String("proto", "macaw", "protocol: maca, macaw or csma")
+	proto := flag.String("proto", "macaw", "protocol: maca, macaw, csma, token, dcf or tournament")
 	seconds := flag.Float64("seconds", 0.5, "trace window length in seconds")
 	from := flag.Float64("from", 0, "trace window start in seconds")
 	seed := flag.Int64("seed", 1, "random seed")
@@ -71,6 +74,12 @@ func main() {
 		f = core.MACAWFactory(macaw.DefaultOptions())
 	case "csma":
 		f = core.CSMAFactory(csma.Options{ACK: true})
+	case "token":
+		f = core.TokenFactory(token.Options{})
+	case "dcf":
+		f = core.DCFFactory(dcf.Options{})
+	case "tournament":
+		f = core.TournamentFactory(tournament.Options{})
 	default:
 		fmt.Fprintf(os.Stderr, "macawtrace: unknown protocol %q\n", *proto)
 		os.Exit(2)

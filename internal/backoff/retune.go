@@ -90,13 +90,20 @@ func SetMILDInc(p Policy, num, den int) error {
 }
 
 // SetMILDDec rewrites the MILD decrease step; non-MILD strategies are a
-// deterministic no-op.
+// deterministic no-op. A step wider than the strategy's window span
+// (BOmax - BOmin) is rejected: every decrease would clamp straight to the
+// floor, so the configured value would silently not be the effective one —
+// the sweep layer requires that to fail at validation time instead.
 func SetMILDDec(p Policy, step int) error {
 	if step < 1 {
 		return fmt.Errorf("backoff: retune: non-positive decrease step %d", step)
 	}
 	return retuneStrategy(p, func(s Strategy) (Strategy, error) {
 		if st, ok := s.(MILD); ok {
+			if span := st.BOMax - st.BOMin; step > span {
+				return nil, fmt.Errorf("backoff: retune: decrease step %d exceeds window span %d (BOmax %d - BOmin %d): every decrease would clamp to the floor",
+					step, span, st.BOMax, st.BOMin)
+			}
 			st.DecStep = step
 			return st, nil
 		}

@@ -15,9 +15,11 @@ import (
 	"macaw/internal/geom"
 	"macaw/internal/mac"
 	"macaw/internal/mac/csma"
+	"macaw/internal/mac/dcf"
 	"macaw/internal/mac/maca"
 	"macaw/internal/mac/macaw"
 	"macaw/internal/mac/token"
+	"macaw/internal/mac/tournament"
 	"macaw/internal/phy"
 	"macaw/internal/sim"
 	"macaw/internal/stats"
@@ -25,12 +27,15 @@ import (
 	"macaw/internal/transport"
 )
 
-// MACFactory builds a MAC instance over the prepared environment.
-type MACFactory func(env *mac.Env) mac.MAC
+// MACFactory builds a protocol engine over the prepared environment. The
+// return type is the explicit MAC SPI (mac.Engine): a backend that misses any
+// part of the contract — lifecycle, introspection, state inventory, forking —
+// does not compile as a factory.
+type MACFactory func(env *mac.Env) mac.Engine
 
 // MACAFactory returns the original MACA protocol (Appendix A).
 func MACAFactory() MACFactory {
-	return func(env *mac.Env) mac.MAC { return maca.New(env) }
+	return func(env *mac.Env) mac.Engine { return maca.New(env) }
 }
 
 // MACAWFactory returns the MACAW engine with the given options. Options
@@ -40,13 +45,13 @@ func MACAWFactory(opt macaw.Options) MACFactory {
 	if opt.Policy != nil {
 		panic("core: shared backoff.Policy across stations; use MACAWFactoryWith")
 	}
-	return func(env *mac.Env) mac.MAC { return macaw.New(env, opt) }
+	return func(env *mac.Env) mac.Engine { return macaw.New(env, opt) }
 }
 
 // MACAWFactoryWith returns a MACAW factory that builds a fresh backoff
 // policy per station.
 func MACAWFactoryWith(opt macaw.Options, policy func() backoff.Policy) MACFactory {
-	return func(env *mac.Env) mac.MAC {
+	return func(env *mac.Env) mac.Engine {
 		o := opt
 		o.Policy = policy()
 		return macaw.New(env, o)
@@ -55,7 +60,7 @@ func MACAWFactoryWith(opt macaw.Options, policy func() backoff.Policy) MACFactor
 
 // CSMAFactory returns the carrier-sense baseline.
 func CSMAFactory(opt csma.Options) MACFactory {
-	return func(env *mac.Env) mac.MAC { return csma.New(env, opt) }
+	return func(env *mac.Env) mac.Engine { return csma.New(env, opt) }
 }
 
 // TokenFactory returns the token-based single-cell scheme the paper defers
@@ -63,7 +68,21 @@ func CSMAFactory(opt csma.Options) MACFactory {
 // AddStation assigns ids 1..N in creation order, so a ring of the first N
 // ids covers a network built before any stream is added.
 func TokenFactory(opt token.Options) MACFactory {
-	return func(env *mac.Env) mac.MAC { return token.New(env, opt) }
+	return func(env *mac.Env) mac.Engine { return token.New(env, opt) }
+}
+
+// DCFFactory returns the IEEE 802.11 DCF engine (CSMA/CA with NAV virtual
+// carrier sense, SIFS/DIFS interframe spacing, CWmin/CWmax binary exponential
+// backoff, and short/long retry limits).
+func DCFFactory(opt dcf.Options) MACFactory {
+	return func(env *mac.Env) mac.Engine { return dcf.New(env, opt) }
+}
+
+// TournamentFactory returns the Tournament MAC: a constant-size congestion
+// window resolved by a binary elimination tournament on the slot grid instead
+// of an exponentially growing backoff window.
+func TournamentFactory(opt tournament.Options) MACFactory {
+	return func(env *mac.Env) mac.Engine { return tournament.New(env, opt) }
 }
 
 // RingOf returns the node ids 1..n, the ring of a network's first n
@@ -82,7 +101,7 @@ type Station struct {
 	name    string
 	net     *Network
 	radio   *phy.Radio
-	mac     mac.MAC
+	mac     mac.Engine
 	factory MACFactory
 
 	handlers []func(src frame.NodeID, seg transport.Segment)
@@ -102,7 +121,7 @@ func (st *Station) Name() string { return st.name }
 func (st *Station) Radio() *phy.Radio { return st.radio }
 
 // MAC exposes the station's protocol instance.
-func (st *Station) MAC() mac.MAC { return st.mac }
+func (st *Station) MAC() mac.Engine { return st.mac }
 
 // Dropped reports MAC-level packet drops at this station.
 func (st *Station) Dropped() int { return st.dropped }
@@ -152,9 +171,7 @@ func (st *Station) Crash() bool {
 	if !st.radio.Enabled() {
 		return false
 	}
-	if h, ok := st.mac.(mac.Halter); ok {
-		h.Halt()
-	}
+	st.mac.Halt()
 	st.radio.SetEnabled(false)
 	st.crashes++
 	return true

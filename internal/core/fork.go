@@ -5,10 +5,6 @@ import (
 	"fmt"
 	"strings"
 
-	"macaw/internal/mac/csma"
-	"macaw/internal/mac/maca"
-	"macaw/internal/mac/macaw"
-	"macaw/internal/mac/token"
 	"macaw/internal/sim"
 	"macaw/internal/traffic"
 )
@@ -141,34 +137,10 @@ func (st *Station) adoptFrom(w *Station) error {
 		return fmt.Errorf("fault-injected station (crashes=%d restarts=%d) cannot fork", w.crashes, w.restarts)
 	}
 	st.dropped = w.dropped
-	switch m := st.mac.(type) {
-	case *maca.MACA:
-		wm, ok := w.mac.(*maca.MACA)
-		if !ok {
-			return fmt.Errorf("mac is %T here vs %T in warm twin", st.mac, w.mac)
-		}
-		return m.AdoptFrom(wm)
-	case *macaw.MACAW:
-		wm, ok := w.mac.(*macaw.MACAW)
-		if !ok {
-			return fmt.Errorf("mac is %T here vs %T in warm twin", st.mac, w.mac)
-		}
-		return m.AdoptFrom(wm)
-	case *csma.CSMA:
-		wm, ok := w.mac.(*csma.CSMA)
-		if !ok {
-			return fmt.Errorf("mac is %T here vs %T in warm twin", st.mac, w.mac)
-		}
-		return m.AdoptFrom(wm)
-	case *token.Token:
-		wm, ok := w.mac.(*token.Token)
-		if !ok {
-			return fmt.Errorf("mac is %T here vs %T in warm twin", st.mac, w.mac)
-		}
-		return m.AdoptFrom(wm)
-	default:
-		return fmt.Errorf("mac %T does not support forking", st.mac)
-	}
+	// The SPI makes forking uniform: every engine's AdoptFrom asserts the
+	// concrete twin type itself and fails closed on a mismatch, so the
+	// per-protocol type switch this function used to carry is gone.
+	return st.mac.AdoptFrom(w.mac)
 }
 
 // adoptFrom copies one stream's mutable state: delivery bookkeeping, the

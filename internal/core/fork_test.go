@@ -7,8 +7,10 @@ import (
 
 	"macaw/internal/geom"
 	"macaw/internal/mac/csma"
+	"macaw/internal/mac/dcf"
 	"macaw/internal/mac/macaw"
 	"macaw/internal/mac/token"
+	"macaw/internal/mac/tournament"
 	"macaw/internal/sim"
 )
 
@@ -32,6 +34,8 @@ func forkFactories() map[string]func() MACFactory {
 		"MACAW": func() MACFactory { return MACAWFactory(macaw.DefaultOptions()) },
 		"CSMA":  func() MACFactory { return CSMAFactory(csma.Options{ACK: true}) },
 		"token": func() MACFactory { return TokenFactory(token.Options{Ring: RingOf(4)}) },
+		"DCF":   func() MACFactory { return DCFFactory(dcf.Options{}) },
+		"TOURN": func() MACFactory { return TournamentFactory(tournament.Options{}) },
 	}
 }
 
@@ -158,6 +162,11 @@ func TestForkWithDeltaMatchesColdDelta(t *testing.T) {
 		{"mild.dec", 2},
 		{"load.rate", 52},
 		{"retry.limit", 2},
+		{"cw.min", 31},
+		{"cw.max", 511},
+		{"retry.short", 3},
+		{"retry.long", 2},
+		{"tournament.window", 16},
 	}
 	for name, f := range forkFactories() {
 		for _, d := range deltas {
@@ -218,9 +227,69 @@ func TestApplyDeltaFailsClosed(t *testing.T) {
 		{"mild.dec", 0, ErrDeltaInvalid},
 		{"load.rate", -1, ErrDeltaInvalid},
 		{"retry.limit", -2, ErrDeltaInvalid},
+		{"cw.min", 0, ErrDeltaInvalid},
+		{"cw.max", 1.5, ErrDeltaInvalid},
+		{"retry.short", 0, ErrDeltaInvalid},
+		{"retry.long", 0.5, ErrDeltaInvalid},
+		{"tournament.window", 1, ErrDeltaInvalid},
 	} {
 		if err := n.ApplyDelta(tc.kind, tc.value); !errors.Is(err, tc.want) {
 			t.Errorf("ApplyDelta(%s, %g) = %v, want %v", tc.kind, tc.value, err, tc.want)
 		}
+	}
+}
+
+// TestDeltaBoundariesExact pins the clamp-rejection boundaries at exactly the
+// live limits: the last legal value applies cleanly and one step past it is a
+// typed validation error, never a silent clamp.
+func TestDeltaBoundariesExact(t *testing.T) {
+	start := func(name string) *Network {
+		n := buildForkNet(1, forkFactories()[name])
+		n.Start(2*sim.Second, sim.Second)
+		n.RunTo(sim.Time(sim.Second))
+		return n
+	}
+
+	// MILD defaults are BOmin 2, BOmax 64: span 62. A decrease step of 62
+	// still has one non-clamping application; 63 would clamp on every one.
+	mild := start("MACAW")
+	if err := mild.ApplyDelta("mild.dec", 62); err != nil {
+		t.Errorf("mild.dec=62 (exact span): %v", err)
+	}
+	if err := mild.ApplyDelta("mild.dec", 63); !errors.Is(err, ErrDeltaInvalid) {
+		t.Errorf("mild.dec=63 (span+1) = %v, want ErrDeltaInvalid", err)
+	}
+
+	// DCF defaults are CWmin 15, CWmax 1023. cw.min may rise exactly to the
+	// live cw.max and cw.max fall exactly to the live cw.min; one step past
+	// either inverts the window and must fail with no station touched.
+	d := start("DCF")
+	if err := d.ApplyDelta("cw.min", 1023); err != nil {
+		t.Errorf("cw.min=1023 (live cw.max): %v", err)
+	}
+	d = start("DCF")
+	if err := d.ApplyDelta("cw.min", 1024); !errors.Is(err, ErrDeltaInvalid) {
+		t.Errorf("cw.min=1024 = %v, want ErrDeltaInvalid", err)
+	}
+	if err := d.ApplyDelta("cw.max", 15); err != nil {
+		t.Errorf("cw.max=15 (live cw.min): %v", err)
+	}
+	if err := d.ApplyDelta("cw.max", 14); !errors.Is(err, ErrDeltaInvalid) {
+		t.Errorf("cw.max=14 = %v, want ErrDeltaInvalid", err)
+	}
+	if err := d.ApplyDelta("retry.short", 1); err != nil {
+		t.Errorf("retry.short=1 (floor): %v", err)
+	}
+	if err := d.ApplyDelta("retry.long", 1); err != nil {
+		t.Errorf("retry.long=1 (floor): %v", err)
+	}
+
+	// The tournament window floor is 2 (a 1-slot window has no elimination).
+	tn := start("TOURN")
+	if err := tn.ApplyDelta("tournament.window", 2); err != nil {
+		t.Errorf("tournament.window=2 (floor): %v", err)
+	}
+	if err := tn.ApplyDelta("tournament.window", 1); !errors.Is(err, ErrDeltaInvalid) {
+		t.Errorf("tournament.window=1 = %v, want ErrDeltaInvalid", err)
 	}
 }

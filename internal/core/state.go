@@ -35,18 +35,13 @@ func (n *Network) AppendState(b []byte) []byte {
 }
 
 // appendState dumps one station: identity, fault counters, radio, and the
-// live MAC instance's FSM (protocols that do not implement AppendState are
-// recorded by type only, so a missing inventory is visible, not silent).
+// live MAC instance's FSM (AppendState is part of the MAC SPI, so every
+// engine contributes a full inventory).
 func (st *Station) appendState(b []byte) []byte {
 	b = fmt.Appendf(b, "station id=%d name=%s dropped=%d crashes=%d restarts=%d\n",
 		st.id, st.name, st.dropped, st.crashes, st.restarts)
 	b = st.radio.AppendState(b)
-	if a, ok := st.mac.(stateAppender); ok {
-		b = a.AppendState(b)
-	} else {
-		b = fmt.Appendf(b, "mac type=%T state=opaque\n", st.mac)
-	}
-	return b
+	return st.mac.AppendState(b)
 }
 
 // appendState dumps one stream: measurement window, offered bookkeeping

@@ -11,8 +11,10 @@ import (
 	"macaw/internal/core"
 	"macaw/internal/geom"
 	"macaw/internal/mac/csma"
+	"macaw/internal/mac/dcf"
 	"macaw/internal/mac/macaw"
 	"macaw/internal/mac/token"
+	"macaw/internal/mac/tournament"
 	"macaw/internal/sim"
 	"macaw/internal/snapshot"
 )
@@ -175,6 +177,8 @@ var ckptProtocols = []struct {
 	{"MACAW", func() core.MACFactory { return core.MACAWFactory(macaw.DefaultOptions()) }},
 	{"CSMA", func() core.MACFactory { return core.CSMAFactory(csma.Options{ACK: true}) }},
 	{"token", func() core.MACFactory { return core.TokenFactory(token.Options{Ring: core.RingOf(3)}) }},
+	{"DCF", func() core.MACFactory { return core.DCFFactory(dcf.Options{}) }},
+	{"TOURN", func() core.MACFactory { return core.TournamentFactory(tournament.Options{}) }},
 }
 
 // ckptRun builds a contended three-station cell under the given MAC and runs

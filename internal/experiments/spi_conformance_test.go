@@ -1,0 +1,159 @@
+package experiments
+
+// SPI conformance suite: every mac.Engine backend — csma, maca, macaw,
+// token, dcf, tournament — must satisfy the contracts the rest of the repo
+// builds on: deterministic replay, fork/AdoptFrom byte-identity at a barrier,
+// liveness under the PR 2 chaos classes (watchdog-swept), and a clean
+// conformance-oracle audit. The ckptProtocols list in checkpoint_test.go is
+// the single source of truth for the backend set, so a seventh engine joins
+// this suite by appearing there.
+
+import (
+	"fmt"
+	"testing"
+
+	"macaw/internal/core"
+	"macaw/internal/fault"
+	"macaw/internal/geom"
+	"macaw/internal/sim"
+)
+
+// conformNet builds the suite's contended three-station cell directly (no
+// instrumentation), exposing the network for state inventories.
+func conformNet(seed int64, mk func() core.MACFactory) *core.Network {
+	n := core.NewNetwork(seed)
+	f := mk()
+	b := n.AddStation("B", geom.V(0, 0, 12), f)
+	p1 := n.AddStation("P1", geom.V(-4, 3, 6), f)
+	p2 := n.AddStation("P2", geom.V(4, 3, 6), f)
+	n.AddStream(p1, b, core.UDP, 30)
+	n.AddStream(p2, b, core.UDP, 30)
+	n.AddStream(b, p1, core.UDP, 10)
+	return n
+}
+
+// TestSPIDeterministicReplay: two runs of the same seed produce byte-identical
+// results and final state inventories, for every backend.
+func TestSPIDeterministicReplay(t *testing.T) {
+	const total, warmup = 3 * sim.Second, 1 * sim.Second
+	for _, p := range ckptProtocols {
+		t.Run(p.name, func(t *testing.T) {
+			run := func() (string, string) {
+				n := conformNet(11, p.f)
+				n.Start(total, warmup)
+				n.RunTo(n.End())
+				return fmt.Sprintf("%+v", n.Collect()), string(n.AppendState(nil))
+			}
+			res1, st1 := run()
+			res2, st2 := run()
+			if res1 != res2 {
+				t.Errorf("results differ across identical runs:\n %s\n %s", res1, res2)
+			}
+			if st1 != st2 {
+				t.Error("final state inventories differ across identical runs")
+			}
+		})
+	}
+}
+
+// TestSPIForkByteIdentity: a fork adopting a warmed twin at the warmup
+// barrier continues byte-identically to the uninterrupted run, for every
+// backend — the property the warm-started sweep engine rests on.
+func TestSPIForkByteIdentity(t *testing.T) {
+	const total, warmup = 3 * sim.Second, 1 * sim.Second
+	for _, p := range ckptProtocols {
+		t.Run(p.name, func(t *testing.T) {
+			ref := conformNet(5, p.f)
+			ref.Start(total, warmup)
+			ref.RunTo(ref.End())
+			refState := string(ref.AppendState(nil))
+
+			w := conformNet(5, p.f)
+			w.Start(total, warmup)
+			w.RunTo(sim.Time(warmup))
+			w.ForceCompactEvents()
+
+			fk := conformNet(5, p.f)
+			if err := fk.AdoptFrom(w); err != nil {
+				t.Fatalf("AdoptFrom: %v", err)
+			}
+			fk.RunTo(fk.End())
+			if got := string(fk.AppendState(nil)); got != refState {
+				t.Error("forked continuation diverges from the uninterrupted run")
+			}
+		})
+	}
+}
+
+// TestSPIAuditCleanOnSeedTraffic: the conformance oracle attached to every
+// backend's contended run stays silent (a violation panics inside rc.run).
+// The audited results must also match the unaudited ones — the oracle is
+// passive for every engine, not just the original three.
+func TestSPIAuditCleanOnSeedTraffic(t *testing.T) {
+	cfg := Bench()
+	cfg.Total, cfg.Warmup = 3*sim.Second, 1*sim.Second
+	audited := cfg
+	audited.Audit = true
+	for _, p := range ckptProtocols {
+		t.Run(p.name, func(t *testing.T) {
+			plain := ckptRun(cfg, "spi/"+p.name, p.f)
+			got := ckptRun(audited, "spi/"+p.name, p.f)
+			if fmt.Sprintf("%+v", got) != fmt.Sprintf("%+v", plain) {
+				t.Errorf("audit perturbed the run:\n plain %+v\n audit %+v", plain, got)
+			}
+		})
+	}
+}
+
+// TestSPIWatchdogLivenessUnderChaos: each backend survives every PR 2 fault
+// class — burst loss, asymmetric links, crash/restart, mobility — with the
+// FSM liveness watchdog attached (a wedged engine or runaway queue panics)
+// and still carries traffic.
+func TestSPIWatchdogLivenessUnderChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos sweep is slow")
+	}
+	const total, warmup = 8 * sim.Second, 2 * sim.Second
+	span := sim.Duration(total - warmup)
+	down := span / 16
+	if down < fault.MinDowntime {
+		down = fault.MinDowntime
+	}
+	classes := []struct {
+		name  string
+		apply func(in *fault.Injector)
+	}{
+		{"burst", func(in *fault.Injector) {
+			in.BurstChannel(0, 0.85, 200*sim.Millisecond, 40*sim.Millisecond)
+		}},
+		{"asym", func(in *fault.Injector) {
+			in.AsymmetricLoss("P1", "B", 0.6)
+		}},
+		{"crash", func(in *fault.Injector) {
+			at := sim.Time(warmup) + sim.Time(span/4)
+			in.CrashRestart("B", at, at+sim.Time(down))
+		}},
+		{"walk", func(in *fault.Injector) {
+			in.Walk("P2", sim.Time(warmup)+sim.Time(span/4), span/16,
+				geom.V(4, 3, 6), geom.V(8, 3, 6), geom.V(4, 3, 6))
+		}},
+	}
+	for _, p := range ckptProtocols {
+		for _, c := range classes {
+			t.Run(p.name+"/"+c.name, func(t *testing.T) {
+				n := conformNet(9, p.f)
+				in := fault.NewInjector(n)
+				c.apply(in)
+				w := fault.NewWatchdog(n)
+				w.MaxQueue = 256
+				w.Start(0)
+				n.Start(total, warmup)
+				n.RunTo(n.End()) // a wedge panics via the watchdog
+				res := n.Collect()
+				if res.TotalPPS() <= 0 {
+					t.Errorf("no traffic carried under %s", c.name)
+				}
+			})
+		}
+	}
+}

@@ -12,10 +12,13 @@ import (
 	"macaw/internal/core"
 	"macaw/internal/geom"
 	"macaw/internal/mac/csma"
+	"macaw/internal/mac/dcf"
 	"macaw/internal/mac/macaw"
 	"macaw/internal/mac/token"
+	"macaw/internal/mac/tournament"
 	"macaw/internal/sim"
 	"macaw/internal/snapshot"
+	"macaw/internal/stats"
 	"macaw/internal/topo"
 )
 
@@ -119,13 +122,18 @@ type sweepCol struct {
 }
 
 // sweepCols returns the sweep's protocol columns: every MAC family the
-// reproduction implements, in the paper's order of appearance.
+// reproduction implements, in the paper's order of appearance, then the
+// comparison backends (802.11 DCF and the tournament scheme). Every engine
+// here implements the full mac.Engine SPI, which is what lets the sweep
+// fork one warmed twin per column without per-protocol cases.
 func sweepCols() []sweepCol {
 	return []sweepCol{
 		{"CSMA", func() core.MACFactory { return core.CSMAFactory(csma.Options{ACK: true}) }},
 		{"MACA", func() core.MACFactory { return core.MACAFactory() }},
 		{"MACAW", func() core.MACFactory { return core.MACAWFactory(macaw.DefaultOptions()) }},
 		{"token", func() core.MACFactory { return core.TokenFactory(token.Options{Ring: core.RingOf(5)}) }},
+		{"DCF", func() core.MACFactory { return core.DCFFactory(dcf.Options{}) }},
+		{"TOURN", func() core.MACFactory { return core.TournamentFactory(tournament.Options{}) }},
 	}
 }
 
@@ -331,9 +339,24 @@ func (s *sweeper) runCell(cfg RunConfig, v SweepVariant, col sweepCol) core.Resu
 
 // RunSweep executes the sweep grid — every variant against every protocol
 // column — and renders it as a Table whose rows are variants and whose cell
-// values are each run's aggregate throughput. Warm-started by default: one
-// warmup per protocol, forked into every variant; opts.Cold runs each cell
-// from scratch instead and must produce the byte-identical table.
+// values are each run's aggregate throughput. It is RunSweepTables keeping
+// only the throughput table, for callers that predate the fairness table.
+func RunSweep(cfg RunConfig, variants []SweepVariant, opts SweepOptions) (Table, SweepInfo, error) {
+	tabs, info, err := RunSweepTables(cfg, variants, opts)
+	if len(tabs) == 0 {
+		return Table{}, info, err
+	}
+	return tabs[0], info, err
+}
+
+// RunSweepTables executes the sweep grid — every variant against every
+// protocol column — and renders two Tables over the same runs: aggregate
+// throughput per cell, then Jain's fairness index across the four uplink
+// streams per cell (the tournament-versus-DCF comparison is exactly these
+// two read together: a constant window trades peak throughput for a flatter
+// allocation). Warm-started by default: one warmup per protocol, forked
+// into every variant; opts.Cold runs each cell from scratch instead and
+// must produce byte-identical tables.
 //
 // Sweeps are measurement-grade runs, not triage runs: metrics and trace
 // sinks are refused, because a warm-started variant only observes the tail
@@ -342,18 +365,18 @@ func (s *sweeper) runCell(cfg RunConfig, v SweepVariant, col sweepCol) core.Resu
 // the network) and checkpoint plans are refused for the same reason as
 // sinks. Runs dispatch through cfg's runner when one is set (WithRunner),
 // so variants fork the shared twin concurrently.
-func RunSweep(cfg RunConfig, variants []SweepVariant, opts SweepOptions) (Table, SweepInfo, error) {
+func RunSweepTables(cfg RunConfig, variants []SweepVariant, opts SweepOptions) ([]Table, SweepInfo, error) {
 	if cfg.Metrics != nil || cfg.Trace != nil {
-		return Table{}, SweepInfo{}, fmt.Errorf("experiments: sweeps cannot carry metrics or trace sinks (a warm fork observes only the tail)")
+		return nil, SweepInfo{}, fmt.Errorf("experiments: sweeps cannot carry metrics or trace sinks (a warm fork observes only the tail)")
 	}
 	if cfg.Checkpoint != nil {
-		return Table{}, SweepInfo{}, fmt.Errorf("experiments: sweeps cannot run under a checkpoint plan")
+		return nil, SweepInfo{}, fmt.Errorf("experiments: sweeps cannot run under a checkpoint plan")
 	}
 	if cfg.Delta != nil {
-		return Table{}, SweepInfo{}, fmt.Errorf("experiments: RunConfig.Delta is set per variant by the sweep itself")
+		return nil, SweepInfo{}, fmt.Errorf("experiments: RunConfig.Delta is set per variant by the sweep itself")
 	}
 	if len(variants) == 0 {
-		return Table{}, SweepInfo{}, fmt.Errorf("experiments: sweep has no variants")
+		return nil, SweepInfo{}, fmt.Errorf("experiments: sweep has no variants")
 	}
 	cfg = cfg.ForTable("sweep")
 	cols := sweepCols()
@@ -389,25 +412,40 @@ func RunSweep(cfg RunConfig, variants []SweepVariant, opts SweepOptions) (Table,
 		Streams: rows,
 		Notes:   "each cell is the run's total delivered rate; a warm-started cell is byte-identical to its cold twin",
 	}
+	fair := Table{
+		ID:      "sweep-fairness",
+		Figure:  "sweep topology",
+		Title:   fmt.Sprintf("parameter sweep (%s), Jain fairness index per variant", mode),
+		Streams: rows,
+		Notes:   "each cell is Jain's index over the four uplink streams' delivered rates (1.00 = even split)",
+	}
 	for ci, col := range cols {
 		c := Column{Name: col.name, Paper: map[string]float64{}}
+		fc := Column{Name: col.name, Paper: map[string]float64{}}
 		rs := make([]core.StreamResult, len(variants))
+		frs := make([]core.StreamResult, len(variants))
 		for vi := range variants {
 			res := futs[vi][ci].wait()
 			rs[vi] = core.StreamResult{Name: rows[vi], PPS: res.TotalPPS()}
+			pps := make([]float64, 0, len(res.Streams))
 			for _, sr := range res.Streams {
 				rs[vi].Delivered += sr.Delivered
 				rs[vi].Offered += sr.Offered
+				pps = append(pps, sr.PPS)
 			}
+			frs[vi] = core.StreamResult{Name: rows[vi], PPS: stats.Jain(pps)}
 		}
 		c.Results = core.Results{Streams: rs, Duration: cfg.Total, Warmup: cfg.Warmup}
+		fc.Results = core.Results{Streams: frs, Duration: cfg.Total, Warmup: cfg.Warmup}
 		tab.Columns = append(tab.Columns, c)
+		fair.Columns = append(fair.Columns, fc)
 	}
+	tabs := []Table{tab, fair}
 	if f := cfg.runner.Failure(); f != nil {
-		return tab, s.info, f
+		return tabs, s.info, f
 	}
 	s.mu.Lock()
 	info := s.info
 	s.mu.Unlock()
-	return tab, info, nil
+	return tabs, info, nil
 }

@@ -167,9 +167,20 @@ func TestGilbertElliottTrajectoryDeterministic(t *testing.T) {
 	}
 }
 
+// stubEngine supplies the inert remainder of the mac.Engine surface for the
+// watchdog test stubs.
+type stubEngine struct{ halted bool }
+
+func (s *stubEngine) Halt()                       { s.halted = true }
+func (s *stubEngine) Halted() bool                { return s.halted }
+func (s *stubEngine) Protocol() string            { return "stub" }
+func (s *stubEngine) AppendState(b []byte) []byte { return b }
+func (s *stubEngine) AdoptFrom(mac.Engine) error  { return nil }
+
 // wedgedMAC is a stub engine stuck outside IDLE with no timer — the exact
 // pathology the watchdog exists to catch.
 type wedgedMAC struct {
+	stubEngine
 	stats mac.Stats
 }
 
@@ -185,6 +196,7 @@ func (w *wedgedMAC) TimerWhen() sim.Time       { return -1 }
 // loopingMAC looks idle but accumulates retries without ever completing or
 // dropping anything.
 type loopingMAC struct {
+	stubEngine
 	retries int
 }
 
@@ -206,8 +218,8 @@ func TestWatchdogCatchesWedgeAndRetryLoop(t *testing.T) {
 		mk   core.MACFactory
 		want string
 	}{
-		{"wedge", func(env *mac.Env) mac.MAC { return &wedgedMAC{} }, "wedged"},
-		{"retry-loop", func(env *mac.Env) mac.MAC { return &loopingMAC{} }, "retry loop"},
+		{"wedge", func(env *mac.Env) mac.Engine { return &wedgedMAC{} }, "wedged"},
+		{"retry-loop", func(env *mac.Env) mac.Engine { return &loopingMAC{} }, "retry loop"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

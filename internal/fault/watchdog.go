@@ -113,20 +113,19 @@ func (w *Watchdog) sweep() {
 	w.n.Sim.AtPriority(w.n.Sim.Now()+w.Interval, 1, w.sweep)
 }
 
-// halter mirrors the optional Halted introspection the engines expose.
-type halter interface{ Halted() bool }
-
 // checkStation returns a one-line violation description, or "".
 func (w *Watchdog) checkStation(st *core.Station) string {
 	if !st.Radio().Enabled() {
 		return "" // crashed or powered off: exempt until restart
 	}
-	if h, ok := st.MAC().(halter); ok && h.Halted() {
+	if st.MAC().Halted() {
 		return ""
 	}
 	insp, ok := st.MAC().(mac.Inspector)
 	if !ok {
-		return "" // engine without FSM introspection (e.g. token ring)
+		// All six in-repo engines implement mac.Inspector; this guards
+		// external engines that opt out of FSM introspection.
+		return ""
 	}
 	qlen := st.MAC().QueueLen()
 	state := insp.FSMState()

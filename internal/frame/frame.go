@@ -57,11 +57,16 @@ const (
 	// the paper defers to future work ("Various token-based schemes ...
 	// are possibilities we hope to explore").
 	TOKEN
+	// SIG is the Tournament MAC's elimination-round signaling burst: a
+	// contender whose draw has a 1-bit in the current round radiates one
+	// SIG for the slot; silent contenders that hear it (or its carrier)
+	// lose the round (Galtier's constant-window tournament).
+	SIG
 
 	numTypes
 )
 
-var typeNames = [...]string{"RTS", "CTS", "DS", "DATA", "ACK", "RRTS", "NACK", "TOKEN"}
+var typeNames = [...]string{"RTS", "CTS", "DS", "DATA", "ACK", "RRTS", "NACK", "TOKEN", "SIG"}
 
 // String returns the conventional name of the frame type.
 func (t Type) String() string {

@@ -106,8 +106,7 @@ func (c *CSMA) Halt() {
 		return
 	}
 	c.halted = true
-	c.timer.Cancel()
-	c.timer = sim.Event{}
+	c.clearTimer()
 	c.st = Idle
 	c.sending = nil
 	for p := c.q.Pop(); p != nil; p = c.q.Pop() {
@@ -119,6 +118,9 @@ func (c *CSMA) Halt() {
 
 // Halted reports whether Halt has been called.
 func (c *CSMA) Halted() bool { return c.halted }
+
+// Protocol implements mac.Engine.
+func (c *CSMA) Protocol() string { return "csma" }
 
 // Stats implements mac.MAC.
 func (c *CSMA) Stats() mac.Stats { return c.stats }
@@ -147,6 +149,14 @@ func (c *CSMA) setTimer(d sim.Duration, fn func()) {
 	c.timer = c.env.Sim.After(d, fn)
 	if c.env.Obs != nil {
 		c.env.Obs.ObserveTimer(c.timer.When())
+	}
+}
+
+func (c *CSMA) clearTimer() {
+	c.timer.Cancel()
+	c.timer = sim.Event{}
+	if c.env.Obs != nil {
+		c.env.Obs.ObserveTimer(-1)
 	}
 }
 
@@ -312,11 +322,7 @@ func (c *CSMA) RadioReceive(f *frame.Frame) {
 		if head == nil || head.Seq() != f.Seq {
 			return
 		}
-		c.timer.Cancel()
-		c.timer = sim.Event{}
-		if c.env.Obs != nil {
-			c.env.Obs.ObserveTimer(-1)
-		}
+		c.clearTimer()
 		c.pol.OnSuccess(f.Src)
 		c.finish(head)
 	}

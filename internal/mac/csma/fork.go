@@ -4,17 +4,23 @@ import (
 	"fmt"
 
 	"macaw/internal/backoff"
+	"macaw/internal/mac"
 )
 
-// AdoptFrom copies w's mutable protocol state into c, which must be a freshly
-// built twin bound to an identically built environment (DESIGN.md §15).
+// AdoptFrom implements mac.Engine: it copies the warm twin's mutable protocol
+// state into c, which must be a freshly built twin bound to an identically
+// built environment (DESIGN.md §15).
 // Queued packets are shared — a mac.Packet is immutable once enqueued — and
 // the pending state timer is re-armed at its exact (when, prio, seq) ordering
 // key. The FSM state discriminates the callback, with one refinement: in
 // Sending the timer completes a DATA frame when sending is set and an ACK
 // frame when it is nil (the engine maintains exactly that invariant). It
 // fails closed on anything this fork path cannot reproduce.
-func (c *CSMA) AdoptFrom(w *CSMA) error {
+func (c *CSMA) AdoptFrom(peer mac.Engine) error {
+	w, ok := peer.(*CSMA)
+	if !ok {
+		return fmt.Errorf("csma: adopt: engine is %T here vs %T in warm twin", c, peer)
+	}
 	if w.halted || c.halted {
 		return fmt.Errorf("csma: adopt: halted instance (warm=%t fork=%t)", w.halted, c.halted)
 	}

@@ -114,8 +114,8 @@ type Inspector interface {
 // conformance oracle). Implementations must be strictly passive: they may
 // not transmit, enqueue packets, schedule simulator events, or consume
 // randomness — attaching an observer must leave every simulation result
-// bit-identical. All three protocol engines (csma, maca, macaw) invoke the
-// hooks when Env.Obs is non-nil.
+// bit-identical. Every protocol engine (csma, maca, macaw, token, dcf,
+// tournament) invokes the hooks when Env.Obs is non-nil.
 type Observer interface {
 	// ObserveTx is invoked immediately before the MAC radiates f.
 	ObserveTx(f *frame.Frame)

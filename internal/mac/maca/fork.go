@@ -4,10 +4,12 @@ import (
 	"fmt"
 
 	"macaw/internal/backoff"
+	"macaw/internal/mac"
 )
 
-// AdoptFrom copies w's mutable protocol state into m, which must be a freshly
-// built twin bound to an identically built environment (DESIGN.md §15).
+// AdoptFrom implements mac.Engine: it copies the warm twin's mutable protocol
+// state into m, which must be a freshly built twin bound to an identically
+// built environment (DESIGN.md §15).
 // Queued packets are shared — a mac.Packet is immutable once enqueued — and
 // the pending state timer is re-armed at its exact (when, prio, seq) ordering
 // key, with the callback named by the FSM state that armed it (each MACA
@@ -15,7 +17,11 @@ import (
 // fails closed on anything this fork path cannot reproduce: a halted
 // instance, a mismatched backoff policy, or a live timer in a state that
 // never arms one.
-func (m *MACA) AdoptFrom(w *MACA) error {
+func (m *MACA) AdoptFrom(peer mac.Engine) error {
+	w, ok := peer.(*MACA)
+	if !ok {
+		return fmt.Errorf("maca: adopt: engine is %T here vs %T in warm twin", m, peer)
+	}
 	if w.halted || m.halted {
 		return fmt.Errorf("maca: adopt: halted instance (warm=%t fork=%t)", w.halted, m.halted)
 	}

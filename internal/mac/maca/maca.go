@@ -122,6 +122,9 @@ func (m *MACA) Halt() {
 // Halted reports whether Halt has been called.
 func (m *MACA) Halted() bool { return m.halted }
 
+// Protocol implements mac.Engine.
+func (m *MACA) Protocol() string { return "maca" }
+
 // Stats implements mac.MAC.
 func (m *MACA) Stats() mac.Stats { return m.stats }
 

@@ -8,8 +8,9 @@ import (
 	"macaw/internal/mac"
 )
 
-// AdoptFrom copies w's mutable protocol state into m, which must be a freshly
-// built twin bound to an identically built environment (DESIGN.md §15).
+// AdoptFrom implements mac.Engine: it copies the warm twin's mutable protocol
+// state into m, which must be a freshly built twin bound to an identically
+// built environment (DESIGN.md §15).
 // Queued and pending packets are shared — a mac.Packet is immutable once
 // enqueued, and sharing preserves the pointer identity the piggyback path
 // compares (queue head vs pending entry). The pending state timer is re-armed
@@ -18,7 +19,11 @@ import (
 // and the tx kind is the discriminator. It fails closed on anything this
 // fork path cannot reproduce: a halted instance, mismatched options, a
 // mismatched backoff policy, or a live timer with no discriminable owner.
-func (m *MACAW) AdoptFrom(w *MACAW) error {
+func (m *MACAW) AdoptFrom(peer mac.Engine) error {
+	w, ok := peer.(*MACAW)
+	if !ok {
+		return fmt.Errorf("macaw: adopt: engine is %T here vs %T in warm twin", m, peer)
+	}
 	if w.halted || m.halted {
 		return fmt.Errorf("macaw: adopt: halted instance (warm=%t fork=%t)", w.halted, m.halted)
 	}

@@ -313,6 +313,9 @@ func (m *MACAW) Halt() {
 // Halted reports whether Halt has been called.
 func (m *MACAW) Halted() bool { return m.halted }
 
+// Protocol implements mac.Engine.
+func (m *MACAW) Protocol() string { return "macaw" }
+
 // Options returns the configured options.
 func (m *MACAW) Options() Options { return m.opt }
 

@@ -1,9 +1,14 @@
 package token
 
-import "fmt"
+import (
+	"fmt"
 
-// AdoptFrom copies w's mutable protocol state into t, which must be a freshly
-// built twin bound to an identically built environment (DESIGN.md §15).
+	"macaw/internal/mac"
+)
+
+// AdoptFrom implements mac.Engine: it copies the warm twin's mutable protocol
+// state into t, which must be a freshly built twin bound to an identically
+// built environment (DESIGN.md §15).
 // Queued packets are shared — a mac.Packet is immutable once enqueued — and
 // both pending events (the state timer and the silence watchdog) are re-armed
 // at their exact (when, prio, seq) ordering keys. The state timer's callback
@@ -14,7 +19,14 @@ import "fmt"
 // but it fires one slot into the run, so it can never still be pending at a
 // warm barrier; if it somehow were, the fork's event heap would hold fewer
 // events than the warm capture and the byte-verification step fails closed.
-func (t *Token) AdoptFrom(w *Token) error {
+func (t *Token) AdoptFrom(peer mac.Engine) error {
+	w, ok := peer.(*Token)
+	if !ok {
+		return fmt.Errorf("token: adopt: engine is %T here vs %T in warm twin", t, peer)
+	}
+	if w.halted || t.halted {
+		return fmt.Errorf("token: adopt: halted instance (warm=%t fork=%t)", w.halted, t.halted)
+	}
 	if t.ringPos != w.ringPos || len(t.opt.Ring) != len(w.opt.Ring) {
 		return fmt.Errorf("token: adopt: ring position %d/%d here vs %d/%d in warm twin",
 			t.ringPos, len(t.opt.Ring), w.ringPos, len(w.opt.Ring))

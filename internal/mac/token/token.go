@@ -83,8 +83,9 @@ func (o Options) withDefaults() Options {
 
 // Token is one station's protocol instance.
 type Token struct {
-	env *mac.Env
-	opt Options
+	env  *mac.Env
+	opt  Options
+	lobs mac.LossObserver // optional retry/drop extension of env.Obs
 
 	st       State
 	q        mac.Queue
@@ -100,6 +101,7 @@ type Token struct {
 	timer    sim.Event
 	watchdog sim.Event
 	seq      uint32
+	halted   bool // crashed instance: every entry point is a no-op
 	stats    mac.Stats
 	// Regenerations counts token-recovery events at this station.
 	Regenerations int
@@ -111,7 +113,7 @@ type Token struct {
 // listed in opt.Ring.
 func New(env *mac.Env, opt Options) *Token {
 	opt = opt.withDefaults()
-	t := &Token{env: env, opt: opt, ringPos: -1}
+	t := &Token{env: env, opt: opt, lobs: mac.AsLossObserver(env.Obs), ringPos: -1}
 	for i, id := range opt.Ring {
 		if id == env.ID() {
 			t.ringPos = i
@@ -133,6 +135,65 @@ func New(env *mac.Env, opt Options) *Token {
 // State returns the current protocol state.
 func (t *Token) State() State { return t.st }
 
+// timerAt returns when e fires, or -1 for an unarmed or cancelled event.
+func timerAt(e sim.Event) sim.Time {
+	if e.IsZero() || e.Cancelled() {
+		return -1
+	}
+	return e.When()
+}
+
+// FSMState implements mac.Inspector.
+func (t *Token) FSMState() string { return t.st.String() }
+
+// TimerPending implements mac.Inspector. The silence watchdog counts: it is
+// the event that guarantees liveness in NOTOKEN (the token is elsewhere and
+// only recovery or a reception can change that), so the scheme's pending
+// continuation is whichever of the state timer and the watchdog fires first.
+func (t *Token) TimerPending() bool { return t.TimerWhen() >= 0 }
+
+// TimerWhen implements mac.Inspector: the earlier of the state timer and the
+// silence watchdog, or -1 when neither is armed.
+func (t *Token) TimerWhen() sim.Time {
+	a, b := timerAt(t.timer), timerAt(t.watchdog)
+	if a < 0 {
+		return b
+	}
+	if b < 0 || a < b {
+		return a
+	}
+	return b
+}
+
+// Halt implements mac.Halter: cancel both pending events, drop the queue
+// (reported with DropDisabled), and turn every subsequent entry point into a
+// no-op so a restarted MAC can own the radio without interference. Before the
+// MAC SPI extraction the token engine had no Halt at all, so a crashed
+// station's instance kept driving the shared radio after a restart bound a
+// fresh one — see TestHaltSilencesZombieInstance.
+func (t *Token) Halt() {
+	if t.halted {
+		return
+	}
+	t.halted = true
+	t.clearTimer()
+	t.watchdog.Cancel()
+	t.watchdog = sim.Event{}
+	t.st = NoToken
+	t.sending = nil
+	for p := t.q.Pop(); p != nil; p = t.q.Pop() {
+		t.stats.Drops++
+		t.noteDrop(p.Dst, mac.DropDisabled)
+		t.env.Callbacks.NotifyDropped(p, mac.DropDisabled)
+	}
+}
+
+// Halted reports whether Halt has been called.
+func (t *Token) Halted() bool { return t.halted }
+
+// Protocol implements mac.Engine.
+func (t *Token) Protocol() string { return "token" }
+
 // Stats implements mac.MAC.
 func (t *Token) Stats() mac.Stats { return t.stats }
 
@@ -141,15 +202,64 @@ func (t *Token) QueueLen() int { return t.q.Len() }
 
 // Enqueue implements mac.MAC.
 func (t *Token) Enqueue(p *mac.Packet) {
+	if t.halted {
+		t.env.Callbacks.NotifyDropped(p, mac.DropDisabled)
+		return
+	}
 	t.seq++
 	p.SetSeq(t.seq)
 	p.Enqueued = t.env.Sim.Now()
 	t.q.Push(p)
+	t.noteQueue("push", p.Dst)
 }
 
 func (t *Token) setTimer(d sim.Duration, fn func()) {
 	t.timer.Cancel()
 	t.timer = t.env.Sim.After(d, fn)
+	if t.env.Obs != nil {
+		t.env.Obs.ObserveTimer(t.timer.When())
+	}
+}
+
+// clearTimer cancels the state timer, reporting the cancellation. The silence
+// watchdog is deliberately not reported through ObserveTimer — the observer
+// contract traces the state timer; the watchdog is visible via TimerWhen.
+func (t *Token) clearTimer() {
+	t.timer.Cancel()
+	t.timer = sim.Event{}
+	if t.env.Obs != nil {
+		t.env.Obs.ObserveTimer(-1)
+	}
+}
+
+// transmit radiates f, notifying the conformance observer first.
+func (t *Token) transmit(f *frame.Frame) sim.Duration {
+	if t.env.Obs != nil {
+		t.env.Obs.ObserveTx(f)
+	}
+	return t.env.Radio.Transmit(f)
+}
+
+// setState moves the FSM to s, notifying the conformance observer.
+func (t *Token) setState(s State) {
+	if t.env.Obs != nil && s != t.st {
+		t.env.Obs.ObserveState(t.st.String(), s.String())
+	}
+	t.st = s
+}
+
+// noteQueue reports a queue operation to the observer.
+func (t *Token) noteQueue(op string, dst frame.NodeID) {
+	if t.env.Obs != nil {
+		t.env.Obs.ObserveQueue(op, dst, t.q.Len())
+	}
+}
+
+// noteDrop reports an abandoned packet to the loss observer.
+func (t *Token) noteDrop(dst frame.NodeID, reason mac.DropReason) {
+	if t.lobs != nil {
+		t.lobs.ObserveDrop(dst, reason)
+	}
 }
 
 // armWatchdog (re)starts the silence watchdog that triggers token recovery.
@@ -173,10 +283,10 @@ func (t *Token) onSilence() {
 
 // acquire takes possession of the token.
 func (t *Token) acquire() {
-	if t.env.Radio.Transmitting() {
+	if t.halted || t.env.Radio.Transmitting() {
 		return
 	}
-	t.st = Holding
+	t.setState(Holding)
 	t.sentThis = 0
 	t.serve()
 }
@@ -191,9 +301,10 @@ func (t *Token) serve() {
 		return
 	}
 	t.q.Pop()
+	t.noteQueue("pop", head.Dst)
 	t.sentThis++
 	data := &frame.Frame{Type: frame.DATA, Src: t.env.ID(), Dst: head.Dst, DataBytes: uint16(head.Size), Seq: head.Seq(), Payload: head.Payload}
-	air := t.env.Radio.Transmit(data)
+	air := t.transmit(data)
 	t.sending = head
 	t.setTimer(air, t.onDataSent)
 }
@@ -231,7 +342,7 @@ func (t *Token) pass(skip int) {
 	if skip >= len(t.opt.Ring) {
 		// Everyone else looks dead; keep the token and try again after
 		// a recovery pause.
-		t.st = Holding
+		t.setState(Holding)
 		t.setTimer(sim.Duration(t.opt.RecoverySlots)*t.env.Cfg.Slot(), t.onHoldPause)
 		return
 	}
@@ -244,8 +355,8 @@ func (t *Token) pass(skip int) {
 		return
 	}
 	tok := &frame.Frame{Type: frame.TOKEN, Src: t.env.ID(), Dst: succ}
-	air := t.env.Radio.Transmit(tok)
-	t.st = Passing
+	air := t.transmit(tok)
+	t.setState(Passing)
 	t.skipNext = skip + 1
 	t.setTimer(air+sim.Duration(t.opt.WatchSlots)*t.env.Cfg.Slot(), t.onWatchTimeout)
 }
@@ -255,25 +366,32 @@ func (t *Token) RadioCarrier(bool) {}
 
 // RadioReceive implements phy.Handler.
 func (t *Token) RadioReceive(f *frame.Frame) {
+	if t.halted {
+		return
+	}
+	if t.env.Obs != nil {
+		t.env.Obs.ObserveRx(f)
+	}
 	t.armWatchdog()
 	if t.st == Passing {
 		// Any transmission from the successor proves the hand-off.
 		if f.Src == t.opt.Ring[t.passTo] {
-			t.timer.Cancel()
-			t.timer = sim.Event{}
-			t.st = NoToken
+			t.clearTimer()
+			t.setState(NoToken)
 		}
 	}
 	switch f.Type {
 	case frame.TOKEN:
 		if f.Dst == t.env.ID() {
-			t.timer.Cancel()
-			t.timer = sim.Event{}
+			t.clearTimer()
 			t.acquire()
 		}
 	case frame.DATA:
 		if f.Dst == t.env.ID() || f.Dst == frame.Broadcast {
 			t.stats.DataReceived++
+			if t.env.Obs != nil {
+				t.env.Obs.ObserveDeliver(f)
+			}
 			t.env.Callbacks.NotifyDeliver(f.Src, f.Payload)
 		}
 	}

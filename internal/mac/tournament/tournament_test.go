@@ -1,0 +1,252 @@
+package tournament
+
+import (
+	"strings"
+	"testing"
+
+	"macaw/internal/frame"
+	"macaw/internal/geom"
+	"macaw/internal/mac"
+	"macaw/internal/phy"
+	"macaw/internal/sim"
+)
+
+type station struct {
+	m         *Tournament
+	delivered int
+	sent      int
+	dropped   int
+}
+
+type world struct {
+	s      *sim.Simulator
+	medium *phy.Medium
+}
+
+func newWorld(seed int64) *world {
+	s := sim.New(seed)
+	return &world{s: s, medium: phy.New(s, phy.DefaultParams())}
+}
+
+func (w *world) add(id frame.NodeID, pos geom.Vec3, opt Options) *station {
+	st := &station{}
+	radio := w.medium.Attach(id, pos, nil)
+	env := &mac.Env{
+		Sim: w.s, Radio: radio, Rand: w.s.NewRand(), Cfg: mac.DefaultConfig(),
+		Callbacks: mac.Callbacks{
+			Deliver: func(frame.NodeID, []byte) { st.delivered++ },
+			Sent:    func(*mac.Packet) { st.sent++ },
+			Dropped: func(*mac.Packet, mac.DropReason) { st.dropped++ },
+		},
+	}
+	st.m = New(env, opt)
+	return st
+}
+
+func pkt(dst frame.NodeID) *mac.Packet {
+	return &mac.Packet{Dst: dst, Size: 512, Payload: []byte("x")}
+}
+
+func TestStateStrings(t *testing.T) {
+	want := map[State]string{
+		Idle: "IDLE", WaitIdle: "WAITIDLE", Tourn: "TOURN", SendData: "SENDDATA", WFACK: "WFACK",
+	}
+	for s, n := range want {
+		if s.String() != n {
+			t.Errorf("%v = %q want %q", s, s.String(), n)
+		}
+	}
+	if State(9).String() != "State(9)" {
+		t.Error("unknown state")
+	}
+}
+
+func TestSoloWinnerDelivers(t *testing.T) {
+	w := newWorld(1)
+	a := w.add(1, geom.V(0, 0, 6), Options{})
+	b := w.add(2, geom.V(6, 0, 6), Options{})
+	a.m.Enqueue(pkt(2))
+	w.s.Run(2 * sim.Second)
+	if b.delivered != 1 || a.sent != 1 {
+		t.Fatalf("delivered=%d sent=%d", b.delivered, a.sent)
+	}
+	if a.m.State() != Idle {
+		t.Fatalf("state = %v", a.m.State())
+	}
+	if b.m.Stats().ACKSent != 1 {
+		t.Fatal("no ACK sent")
+	}
+}
+
+func TestContendersAllDrain(t *testing.T) {
+	// Three contenders in mutual range play tournaments for the channel;
+	// everything must eventually drain to the sink.
+	w := newWorld(2)
+	d := w.add(4, geom.V(8, 0, 6), Options{})
+	contenders := []*station{
+		w.add(1, geom.V(0, 0, 6), Options{}),
+		w.add(2, geom.V(4, 0, 6), Options{}),
+		w.add(3, geom.V(12, 0, 6), Options{}),
+	}
+	for _, c := range contenders {
+		for i := 0; i < 10; i++ {
+			c.m.Enqueue(pkt(4))
+		}
+	}
+	w.s.Run(120 * sim.Second)
+	if d.delivered != 30 {
+		t.Fatalf("delivered = %d of 30", d.delivered)
+	}
+	var sigs int
+	for _, c := range contenders {
+		if c.m.QueueLen() != 0 {
+			t.Fatalf("queue stuck at %d (state %v)", c.m.QueueLen(), c.m.State())
+		}
+		sigs += c.m.Sigs()
+	}
+	if sigs == 0 {
+		t.Fatal("no tournament signals were ever transmitted")
+	}
+}
+
+func TestBroadcastDataNotACKed(t *testing.T) {
+	w := newWorld(3)
+	a := w.add(1, geom.V(0, 0, 6), Options{})
+	b := w.add(2, geom.V(6, 0, 6), Options{})
+	a.m.Enqueue(pkt(frame.Broadcast))
+	w.s.Run(2 * sim.Second)
+	if b.delivered != 1 || a.sent != 1 {
+		t.Fatalf("delivered=%d sent=%d", b.delivered, a.sent)
+	}
+	if b.m.Stats().ACKSent != 0 {
+		t.Fatal("broadcast data must not be ACKed")
+	}
+}
+
+func TestRetryLimitDrops(t *testing.T) {
+	w := newWorld(4)
+	a := w.add(1, geom.V(0, 0, 6), Options{})
+	a.m.Enqueue(pkt(9)) // nobody there: every ACK times out
+	w.s.Run(60 * sim.Second)
+	if a.dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", a.dropped)
+	}
+	if a.m.State() != Idle || a.m.QueueLen() != 0 {
+		t.Fatalf("state=%v queue=%d", a.m.State(), a.m.QueueLen())
+	}
+}
+
+func TestHaltDrainsQueueAndSilences(t *testing.T) {
+	w := newWorld(5)
+	a := w.add(1, geom.V(0, 0, 6), Options{})
+	w.add(2, geom.V(6, 0, 6), Options{})
+	for i := 0; i < 3; i++ {
+		a.m.Enqueue(pkt(2))
+	}
+	a.m.Halt()
+	if !a.m.Halted() || a.m.QueueLen() != 0 || a.m.State() != Idle {
+		t.Fatalf("halted=%t queue=%d state=%v", a.m.Halted(), a.m.QueueLen(), a.m.State())
+	}
+	if a.dropped != 3 {
+		t.Fatalf("dropped = %d, want 3", a.dropped)
+	}
+	if a.m.TimerPending() {
+		t.Fatal("timer still pending after halt")
+	}
+	a.m.Enqueue(pkt(2)) // must be refused
+	w.s.Run(5 * sim.Second)
+	if a.sent != 0 || a.m.Sigs() != 0 {
+		t.Fatal("halted station transmitted")
+	}
+}
+
+func TestAdoptFromMatchesByteState(t *testing.T) {
+	mk := func() (*world, *station, *station) {
+		w := newWorld(6)
+		a := w.add(1, geom.V(0, 0, 6), Options{})
+		b := w.add(2, geom.V(6, 0, 6), Options{})
+		return w, a, b
+	}
+	w1, a1, b1 := mk()
+	for i := 0; i < 5; i++ {
+		a1.m.Enqueue(pkt(2))
+	}
+	w1.s.Run(30 * sim.Millisecond) // park mid-traffic
+
+	_, a2, b2 := mk()
+	if err := a2.m.AdoptFrom(a1.m); err != nil {
+		t.Fatal(err)
+	}
+	if err := b2.m.AdoptFrom(b1.m); err != nil {
+		t.Fatal(err)
+	}
+	got, want := string(a2.m.AppendState(nil)), string(a1.m.AppendState(nil))
+	if got != want {
+		t.Fatalf("adopted state diverges:\n got %q\nwant %q", got, want)
+	}
+	if !strings.HasPrefix(want, "tournament st=") {
+		t.Fatalf("state inventory missing protocol prefix: %q", want)
+	}
+}
+
+func TestAdoptFromRefusesWrongEngineAndOptions(t *testing.T) {
+	w := newWorld(7)
+	a := w.add(1, geom.V(0, 0, 6), Options{})
+	b := w.add(2, geom.V(6, 0, 6), Options{Window: 8})
+	if err := a.m.AdoptFrom(b.m); err == nil {
+		t.Fatal("adopt across differing options succeeded")
+	}
+	b.m.Halt()
+	if err := a.m.AdoptFrom(b.m); err == nil {
+		t.Fatal("adopt from a halted twin succeeded")
+	}
+}
+
+func TestWindowRetuneFailsClosedAtFloor(t *testing.T) {
+	w := newWorld(8)
+	a := w.add(1, geom.V(0, 0, 6), Options{})
+	if got := a.m.Options().Window; got != 32 {
+		t.Fatalf("default window = %d, want 32", got)
+	}
+	if err := a.m.SetWindow(2); err != nil { // exactly the floor is legal
+		t.Fatalf("SetWindow(2): %v", err)
+	}
+	if err := a.m.SetWindow(1); err == nil {
+		t.Fatal("SetWindow(1) succeeded (floor is 2)")
+	}
+	if got := a.m.Options().Window; got != 2 {
+		t.Fatalf("window = %d after rejected retune, want 2", got)
+	}
+}
+
+// TestNeverWedgesUnderArbitraryFrames injects random frames and checks the
+// engine always drains its queue once injections stop.
+func TestNeverWedgesUnderArbitraryFrames(t *testing.T) {
+	types := []frame.Type{frame.RTS, frame.CTS, frame.DS, frame.DATA, frame.ACK, frame.RRTS, frame.NACK, frame.TOKEN, frame.SIG}
+	for seed := int64(1); seed <= 10; seed++ {
+		w := newWorld(seed)
+		a := w.add(1, geom.V(0, 0, 6), Options{})
+		w.add(2, geom.V(6, 0, 6), Options{})
+		r := w.s.NewRand()
+		for i := 0; i < 3; i++ {
+			a.m.Enqueue(pkt(2))
+		}
+		for i := 0; i < 300; i++ {
+			f := &frame.Frame{
+				Type:      types[r.Intn(len(types))],
+				Src:       frame.NodeID(2 + r.Intn(4)),
+				Dst:       frame.NodeID(1 + r.Intn(5)),
+				DataBytes: uint16(r.Intn(600)),
+				Seq:       uint32(r.Intn(6)),
+			}
+			if !a.m.env.Radio.Transmitting() {
+				a.m.RadioReceive(f)
+			}
+			w.s.Run(w.s.Now() + sim.Duration(r.Intn(3))*sim.Millisecond)
+		}
+		w.s.Run(w.s.Now() + 120*sim.Second)
+		if a.m.QueueLen() > 0 {
+			t.Fatalf("seed %d: %d packets stuck (state %v)", seed, a.m.QueueLen(), a.m.State())
+		}
+	}
+}

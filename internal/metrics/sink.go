@@ -3,6 +3,7 @@ package metrics
 import (
 	"encoding/json"
 	"io"
+	"sort"
 	"sync"
 )
 
@@ -40,7 +41,10 @@ func (s *Sink) Run(label string) *RunMetrics {
 	return s.runs[label]
 }
 
-// Labels returns the stored run labels (unsorted).
+// Labels returns the stored run labels in sorted order — the same canonical
+// order the JSON document uses, so callers enumerating runs see the
+// submission-order-independent view the sink's determinism contract names
+// (the trace sink's WriteJSONL sorts identically).
 func (s *Sink) Labels() []string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -48,6 +52,7 @@ func (s *Sink) Labels() []string {
 	for l := range s.runs {
 		out = append(out, l)
 	}
+	sort.Strings(out)
 	return out
 }
 

@@ -20,9 +20,14 @@
 //	DEL-2     no duplicate delivery to transport       (§3.3.1)
 //
 // Scoping: CSMA stations (no RTS-CTS handshake, duplicates on lost ACKs by
-// design) are checked only against HDR rules; stations running a protocol
-// the oracle does not model (e.g. the token-ring extension) are recorded but
-// not checked. Restarting a station resets every expectation the oracle
+// design) are checked only against HDR rules. DCF stations follow the
+// RTS-CTS-DATA-ACK ordering rules but stamp no MACAW backoff headers, so the
+// HDR rules are skipped for them; tournament stations (no handshake beyond
+// the final ACK) are checked only against ORD-ACK. Stations running a
+// protocol the oracle does not model (e.g. the token-ring extension) are
+// recorded but not checked; the dispatch is by the engine's SPI Protocol()
+// name, so a new backend is unchecked until the oracle grows rules for it.
+// Restarting a station resets every expectation the oracle
 // holds about it — its own per-lifetime state and the ESN/delivery
 // high-water marks its peers accumulated — exactly as the protocol's own
 // reboot semantics do.
@@ -37,8 +42,6 @@ import (
 	"macaw/internal/core"
 	"macaw/internal/frame"
 	"macaw/internal/mac"
-	"macaw/internal/mac/csma"
-	"macaw/internal/mac/maca"
 	"macaw/internal/mac/macaw"
 	"macaw/internal/sim"
 	"macaw/internal/trace"
@@ -183,6 +186,8 @@ const (
 	kindCSMA
 	kindMACA
 	kindMACAW
+	kindDCF
+	kindTournament
 	kindOther // a protocol the oracle does not model (e.g. token ring)
 )
 
@@ -201,7 +206,7 @@ type monitor struct {
 	id    frame.NodeID
 	name  string
 	clock func() sim.Time
-	macOf func() mac.MAC
+	macOf func() mac.Engine
 	kind  protoKind
 	opts  macaw.Options
 
@@ -230,7 +235,7 @@ type monitor struct {
 	delivered map[stream]uint32
 }
 
-func newMonitor(o *Oracle, id frame.NodeID, name string, clock func() sim.Time, macOf func() mac.MAC) *monitor {
+func newMonitor(o *Oracle, id frame.NodeID, name string, clock func() sim.Time, macOf func() mac.Engine) *monitor {
 	return &monitor{
 		o:          o,
 		id:         id,
@@ -262,19 +267,28 @@ func (m *monitor) forgetPeer(id frame.NodeID) {
 
 // ensureKind lazily resolves the protocol engine; the observer factory runs
 // before the station's MAC field is assigned, so the first event is the
-// earliest safe moment to inspect it.
+// earliest safe moment to inspect it. Dispatch is by the SPI Protocol()
+// name — the one concrete assertion left fetches the MACAW exchange options
+// the defer rules need.
 func (m *monitor) ensureKind() {
 	if m.kind != kindUnknown {
 		return
 	}
-	switch eng := m.macOf().(type) {
-	case *macaw.MACAW:
+	eng := m.macOf()
+	switch eng.Protocol() {
+	case "macaw":
 		m.kind = kindMACAW
-		m.opts = eng.Options()
-	case *maca.MACA:
+		if mw, ok := eng.(*macaw.MACAW); ok {
+			m.opts = mw.Options()
+		}
+	case "maca":
 		m.kind = kindMACA
-	case *csma.CSMA:
+	case "csma":
 		m.kind = kindCSMA
+	case "dcf":
+		m.kind = kindDCF
+	case "tournament":
+		m.kind = kindTournament
 	default:
 		m.kind = kindOther
 	}
@@ -418,6 +432,11 @@ func (m *monitor) ObserveTx(f *frame.Frame) {
 // [BOmin, BOmax] (remote may be I_DONT_KNOW) and the exchange sequence
 // number toward any destination never regresses within one lifetime.
 func (m *monitor) checkHeaders(f *frame.Frame) {
+	if m.kind == kindDCF || m.kind == kindTournament {
+		// Neither protocol stamps MACAW backoff headers or ESNs; their
+		// frames carry zeros there by design.
+		return
+	}
 	lo, hi := int16(backoff.DefaultMin), int16(backoff.DefaultMax)
 	if f.LocalBackoff < lo || f.LocalBackoff > hi {
 		m.violate(RuleHDR1, "§3.1/App. B",
@@ -497,9 +516,9 @@ func (m *monitor) checkDS(f *frame.Frame) {
 }
 
 func (m *monitor) checkDataTx(f *frame.Frame) {
-	if f.Dst == frame.Broadcast || f.Multicast || m.kind == kindCSMA {
-		// Multicast data follows its RTS directly (§3.3.4); CSMA sends
-		// data with no handshake at all (§2.2).
+	if f.Dst == frame.Broadcast || f.Multicast || m.kind == kindCSMA || m.kind == kindTournament {
+		// Multicast data follows its RTS directly (§3.3.4); CSMA and the
+		// tournament MAC send data with no granting handshake at all.
 		return
 	}
 	if g, ok := m.grant[f.Dst]; !ok || g != f.Seq {

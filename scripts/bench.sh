@@ -13,6 +13,12 @@
 # benchmark itself fails if pps moves — so the ns/op ratio is pure
 # sharded-engine speedup).
 #
+# Two sweep sections time the warm-started sweep engine against -sweep-cold
+# across all six MAC backends: the original MACAW/MILD knob sweep, and a
+# dcf-vs-macaw sweep over the PR 9 delta kinds (cw.min/cw.max, retry
+# limits, tournament.window). Both assert the rendered tables are
+# byte-identical warm vs cold before recording the wall-clock ratio.
+#
 # Usage: scripts/bench.sh [output.json] [raw-bench.txt]
 #
 # output.json defaults to bench.json. If raw-bench.txt is given, the raw
@@ -67,7 +73,19 @@ end=$(date +%s%N); sweep_warm_ms=$(( (end - start) / 1000000 ))
 sed 's/(warm-started)/(cold)/' "$tmp/sweep_warm.txt" | cmp -s - "$tmp/sweep_cold.txt" ||
     { echo "FATAL: warm-started sweep output differs from cold" >&2; exit 1; }
 echo "sweep: cold ${sweep_cold_ms}ms, warm ${sweep_warm_ms}ms (output byte-identical)" >&2
-echo "$sweep_cold_ms $sweep_warm_ms" > "$tmp/sweep.txt"
+
+echo "timing dcf-vs-macaw sweep (16 variants over DCF/tournament knobs)..." >&2
+dcf_spec="cw.min=3,7,15,31;cw.max=63,127,255,1023;retry.short=1,2,4,7;tournament.window=8,16,32,64"
+start=$(date +%s%N)
+"$tmp/macawsim" -sweep "$dcf_spec" -total 60 -warmup 50 -sweep-cold > "$tmp/dcf_cold.txt" 2> /dev/null
+end=$(date +%s%N); dcf_cold_ms=$(( (end - start) / 1000000 ))
+start=$(date +%s%N)
+"$tmp/macawsim" -sweep "$dcf_spec" -total 60 -warmup 50 > "$tmp/dcf_warm.txt" 2> /dev/null
+end=$(date +%s%N); dcf_warm_ms=$(( (end - start) / 1000000 ))
+sed 's/(warm-started)/(cold)/' "$tmp/dcf_warm.txt" | cmp -s - "$tmp/dcf_cold.txt" ||
+    { echo "FATAL: warm-started dcf-vs-macaw sweep output differs from cold" >&2; exit 1; }
+echo "dcf-vs-macaw sweep: cold ${dcf_cold_ms}ms, warm ${dcf_warm_ms}ms (output byte-identical)" >&2
+echo "$sweep_cold_ms $sweep_warm_ms $dcf_cold_ms $dcf_warm_ms" > "$tmp/sweep.txt"
 
 awk -v nproc="$(nproc)" '
 BEGIN { n = 0; m = 0; s = 0; h = 0 }
@@ -102,10 +120,14 @@ FILENAME ~ /shard\.txt$/ && $1 ~ /^BenchmarkScaleN10000\// {
     next
 }
 FILENAME ~ /jobs\.txt$/ { jobs_n[m] = $1; jobs_ms[m] = $2; m++ }
-# sweep.txt: cold-vs-warm 16-variant sweep wall-clock.
-FILENAME ~ /sweep\.txt$/ { sweep_cold = $1; sweep_warm = $2; have_sweep = 1 }
+# sweep.txt: cold-vs-warm 16-variant sweep wall-clocks (MACAW knobs, then
+# the dcf-vs-macaw knob sweep).
+FILENAME ~ /sweep\.txt$/ {
+    sweep_cold = $1; sweep_warm = $2; have_sweep = 1
+    dcf_cold = $3; dcf_warm = $4
+}
 END {
-    printf "{\n  \"note\": \"ns_per_op measures simulator speed; pps measures protocol behaviour and must not move at a fixed seed; jobs entries are macawsim -total 40 -warmup 5 wall-clock ms (output verified byte-identical across jobs; wall-clock speedup requires nproc > 1). scaling entries compare the neighborhood-indexed medium with the exhaustive all-radios iteration on seeded random building topologies: pps is identical by construction (the index is bit-exact), avg_neighbors is the mean relevance-set size the indexed per-event cost tracks, and the indexed/exhaustive ns_per_op ratio is the medium speedup. sharding entries run the 10000-station city topology serially and on the component-parallel engine at 2/4/8 shards: pps is bit-identical by construction (the benchmark fails if it moves), components counts the causally independent radio components, and speedup is serial ns_per_op over the mode ns_per_op (decomposition shrinks per-heap and per-cache costs, so speedup > 1 even at nproc = 1). the sweep entry times macawsim -sweep with 16 variants x 4 protocols at -total 60 -warmup 50, warm-started (one warmup per protocol, forked into every variant) vs -sweep-cold (every variant from scratch); the rendered tables are byte-identical by construction (the script fails if they differ), so speedup is pure warm-start win.\",\n"
+    printf "{\n  \"note\": \"ns_per_op measures simulator speed; pps measures protocol behaviour and must not move at a fixed seed; jobs entries are macawsim -total 40 -warmup 5 wall-clock ms (output verified byte-identical across jobs; wall-clock speedup requires nproc > 1). scaling entries compare the neighborhood-indexed medium with the exhaustive all-radios iteration on seeded random building topologies: pps is identical by construction (the index is bit-exact), avg_neighbors is the mean relevance-set size the indexed per-event cost tracks, and the indexed/exhaustive ns_per_op ratio is the medium speedup. sharding entries run the 10000-station city topology serially and on the component-parallel engine at 2/4/8 shards: pps is bit-identical by construction (the benchmark fails if it moves), components counts the causally independent radio components, and speedup is serial ns_per_op over the mode ns_per_op (decomposition shrinks per-heap and per-cache costs, so speedup > 1 even at nproc = 1). the sweep entries time macawsim -sweep with 16 variants x 6 protocols (csma, maca, macaw, token, dcf, tournament) at -total 60 -warmup 50, warm-started (one warmup per protocol, forked into every variant) vs -sweep-cold (every variant from scratch); the rendered tables are byte-identical by construction (the script fails if they differ), so speedup is pure warm-start win. sweep covers the MACAW/MILD knobs; sweep_dcf_vs_macaw covers the PR 9 delta kinds (cw.min/cw.max, retry.short, tournament.window) that only bite at DCF and tournament stations.\",\n"
     printf "  \"nproc\": %d,\n", nproc
     printf "  \"benchmarks\": {\n"
     for (i = 0; i < n; i++) {
@@ -134,9 +156,16 @@ END {
     }
     printf "  },\n  \"sweep\": {\n"
     if (have_sweep) {
-        printf "    \"variants\": 16, \"protocols\": 4,\n"
+        printf "    \"variants\": 16, \"protocols\": 6,\n"
         printf "    \"cold_ms\": %s, \"warm_ms\": %s", sweep_cold, sweep_warm
         if (sweep_warm > 0) printf ", \"speedup\": %.2f", sweep_cold / sweep_warm
+        printf "\n"
+    }
+    printf "  },\n  \"sweep_dcf_vs_macaw\": {\n"
+    if (have_sweep) {
+        printf "    \"variants\": 16, \"protocols\": 6,\n"
+        printf "    \"cold_ms\": %s, \"warm_ms\": %s", dcf_cold, dcf_warm
+        if (dcf_warm > 0) printf ", \"speedup\": %.2f", dcf_cold / dcf_warm
         printf "\n"
     }
     printf "  },\n  \"jobs_wallclock_ms\": {\n"

@@ -6,6 +6,7 @@
 #   2. the warm-state cache round-trips: a second sweep byte-verifies its
 #      warmups against every cached entry
 #   3. a corrupted cache entry is rewarmed and overwritten, to the same bytes
+#      (3b repeats the byte-diff over the DCF/tournament delta kinds)
 #   4. on a warmup-dominated sweep the warm start is >= 2x faster wall-clock
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -23,13 +24,13 @@ echo "== 1. warm fork is byte-identical to cold =="
   > "$dir/cold.txt" 2> /dev/null
 # The title names the mode; every measured byte must agree.
 diff -u <(sed 's/(warm-started)/(cold)/' "$dir/warm.txt") "$dir/cold.txt"
-grep -q "16 variants x 4 protocols (4 warmups, 64 forks" "$dir/warm_err.txt"
+grep -q "16 variants x 6 protocols (6 warmups, 96 forks" "$dir/warm_err.txt"
 
 echo "== 2. the warm cache verifies on the second sweep =="
-grep -q "cache 0 hits / 4 writes" "$dir/warm_err.txt"
+grep -q "cache 0 hits / 6 writes" "$dir/warm_err.txt"
 "$dir/macawsim" -sweep "$spec" -total 12 -warmup 4 -audit -warm-cache "$dir/cache" \
   > "$dir/warm2.txt" 2> "$dir/warm2_err.txt"
-grep -q "cache 4 hits / 0 writes" "$dir/warm2_err.txt"
+grep -q "cache 6 hits / 0 writes" "$dir/warm2_err.txt"
 diff -u "$dir/warm.txt" "$dir/warm2.txt"
 
 echo "== 3. a corrupted cache entry is rewarmed and overwritten =="
@@ -37,8 +38,14 @@ f="$(ls "$dir/cache"/warm-*.snap | head -1)"
 dd if=/dev/zero of="$f" bs=1 count=8 seek=40 conv=notrunc status=none
 "$dir/macawsim" -sweep "$spec" -total 12 -warmup 4 -audit -warm-cache "$dir/cache" \
   > "$dir/warm3.txt" 2> "$dir/warm3_err.txt"
-grep -q "cache 3 hits / 1 writes" "$dir/warm3_err.txt"
+grep -q "cache 5 hits / 1 writes" "$dir/warm3_err.txt"
 diff -u "$dir/warm.txt" "$dir/warm3.txt"
+
+echo "== 3b. the DCF/tournament delta kinds fork byte-identically too =="
+dcf_spec="cw.min=7,15,31;cw.max=255,1023;retry.short=2,4;tournament.window=16,32"
+"$dir/macawsim" -sweep "$dcf_spec" -total 12 -warmup 4 -audit > "$dir/dcf_warm.txt" 2> /dev/null
+"$dir/macawsim" -sweep "$dcf_spec" -total 12 -warmup 4 -audit -sweep-cold > "$dir/dcf_cold.txt" 2> /dev/null
+diff -u <(sed 's/(warm-started)/(cold)/' "$dir/dcf_warm.txt") "$dir/dcf_cold.txt"
 
 echo "== 4. warm start is >= 2x faster on a warmup-dominated sweep =="
 start=$(date +%s%N)
