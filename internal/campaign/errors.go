@@ -1,0 +1,11 @@
+package campaign
+
+import "errors"
+
+// Sentinel errors of the HTTP surface; handlers wrap them into typed JSON
+// error bodies.
+var (
+	errDraining        = errors.New("campaign: daemon is draining; not accepting submissions")
+	errUnknownCampaign = errors.New("campaign: unknown campaign id")
+	errBadSeed         = errors.New("campaign: seed must be a decimal integer")
+)

@@ -1,0 +1,53 @@
+package campaign
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeManifest hammers the campaign-manifest decoder: whatever the
+// bytes, it must fail closed with an error — never panic — and any document
+// it accepts must survive a canonical re-encode/re-decode round trip with
+// its identity and job expansion intact.
+func FuzzDecodeManifest(f *testing.F) {
+	f.Add([]byte(validManifest))
+	f.Add([]byte(`{"total_s": 2, "warmup_s": 0.5, "runs": [{"table": "table1", "seeds": [1]}]}`))
+	f.Add([]byte(`{"total_s": 30, "warmup_s": 5, "audit": true, "runs": [{"chaos": true, "seeds": [7, 8]}]}`))
+	f.Add([]byte(`{"total_s": 60, "warmup_s": 50, "runs": [{"sweep": "cw.min=7,15;tournament.window=16", "seeds": [1]}]}`))
+	f.Add([]byte(`{"total_s": 1e9, "warmup_s": 0, "runs": [{"table": "ext-loadsweep", "seeds": [-1, 0, 9223372036854775807]}]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"runs": [{"seeds": []}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeManifest(strings.NewReader(string(data)))
+		if err != nil {
+			if m != nil {
+				t.Fatal("decode failed but returned a manifest")
+			}
+			return
+		}
+		id, jobs := m.ID(), m.Jobs()
+		if len(jobs) == 0 {
+			t.Fatal("accepted manifest expands to zero jobs")
+		}
+		back, err := DecodeManifest(strings.NewReader(string(m.Encode())))
+		if err != nil {
+			t.Fatalf("accepted manifest fails to re-decode its own encoding: %v", err)
+		}
+		if back.ID() != id {
+			t.Fatalf("identity moved across re-encode: %q != %q", back.ID(), id)
+		}
+		backJobs := back.Jobs()
+		if len(backJobs) != len(jobs) {
+			t.Fatalf("job expansion moved across re-encode: %d != %d", len(backJobs), len(jobs))
+		}
+		for i := range jobs {
+			if jobs[i] != backJobs[i] {
+				t.Fatalf("job %d moved across re-encode: %+v != %+v", i, jobs[i], backJobs[i])
+			}
+			if m.jobKey(jobs[i]) != back.jobKey(backJobs[i]) {
+				t.Fatalf("job %d cache key moved across re-encode", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,168 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"macaw/internal/experiments"
+	"macaw/internal/metrics"
+)
+
+// Result is one completed job's output: the rendered tables and, for
+// generator runs, every per-run metrics snapshot (the PR 5 RunMetrics
+// schema) keyed by its deterministic sink label. A Result is a pure function
+// of the job's configuration — it carries no timestamps, host names, or
+// cache provenance — which is what lets a cached replay stream
+// byte-identically to a fresh simulation.
+type Result struct {
+	// Spec and Seed identify the job ("table:table6", 3).
+	Spec string `json:"spec"`
+	Seed int64  `json:"seed"`
+	// Err is the deterministic failure message of a job that aborted (an
+	// oracle violation, a watchdog panic); empty on success. Failed jobs
+	// are never cached, so a resubmission retries them.
+	Err string `json:"error,omitempty"`
+	// Tables are the job's rendered tables in generator order.
+	Tables []RenderedTable `json:"tables,omitempty"`
+	// Metrics holds one compact-JSON RunMetrics document per run label,
+	// sorted by label (the metrics.Sink order).
+	Metrics []LabeledMetrics `json:"-"`
+}
+
+// RenderedTable is one table of a result: the generator's table id and its
+// aligned-text rendering, exactly as macawsim prints it.
+type RenderedTable struct {
+	ID   string `json:"id"`
+	Text string `json:"text"`
+}
+
+// LabeledMetrics pairs a sink label with its RunMetrics snapshot as compact
+// JSON. Raw bytes, not decoded structs: metrics documents are re-emitted
+// verbatim (or re-indented), never interpreted, and a slice of pairs —
+// unlike a map — gob-encodes deterministically.
+type LabeledMetrics struct {
+	Label string
+	JSON  []byte
+}
+
+// resultLine is the JSONL wire form of a Result: Metrics becomes a
+// label-keyed object (encoding/json sorts map keys, keeping the line
+// canonical).
+type resultLine struct {
+	Spec    string                     `json:"spec"`
+	Seed    int64                      `json:"seed"`
+	Err     string                     `json:"error,omitempty"`
+	Tables  []RenderedTable            `json:"tables,omitempty"`
+	Metrics map[string]json.RawMessage `json:"metrics,omitempty"`
+}
+
+// WriteJSONL writes the result as one JSON line.
+func (r *Result) WriteJSONL(w io.Writer) error {
+	line := resultLine{Spec: r.Spec, Seed: r.Seed, Err: r.Err, Tables: r.Tables}
+	if len(r.Metrics) > 0 {
+		line.Metrics = make(map[string]json.RawMessage, len(r.Metrics))
+		for _, lm := range r.Metrics {
+			line.Metrics[lm.Label] = json.RawMessage(lm.JSON)
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	return enc.Encode(line)
+}
+
+// WriteText writes the result's tables exactly as macawsim renders them —
+// each table followed by a blank line — so a campaign's text stream
+// byte-matches the equivalent CLI run below its header.
+func (r *Result) WriteText(w io.Writer) error {
+	if r.Err != "" {
+		_, err := fmt.Fprintf(w, "FAILED %s seed %d: %s\n\n", r.Spec, r.Seed, r.Err)
+		return err
+	}
+	for _, t := range r.Tables {
+		if _, err := io.WriteString(w, t.Text+"\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// encode renders the result for the ledger. gob round-trips every field
+// bit-exactly, so a cache-served result streams byte-identically to the
+// simulation that produced it.
+func (r *Result) encode() []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(r); err != nil {
+		panic(fmt.Sprintf("campaign: encoding result: %v", err)) // concrete types cannot fail
+	}
+	return buf.Bytes()
+}
+
+// decodeResult parses a ledger payload. A corrupt payload returns an error
+// and the job is re-run, never trusted.
+func decodeResult(payload []byte) (*Result, error) {
+	var r Result
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// execute runs one job to completion and returns its Result. It runs on the
+// caller's goroutine — the engine dispatches it through Runner.Do — and
+// panics propagate to that chokepoint, which converts them into the job's
+// deterministic failure message.
+func (m *Manifest) execute(j Job) *Result {
+	cfg := experiments.RunConfig{Total: m.Total(), Warmup: m.Warmup(), Seed: j.Seed, Audit: m.Audit}
+	res := &Result{Spec: j.Spec, Seed: j.Seed}
+	switch kind, arg, _ := splitSpec(j.Spec); kind {
+	case "sweep":
+		// Sweeps refuse metrics sinks (a warm fork only observes the
+		// tail), so a sweep job's result is its rendered tables.
+		variants, err := experiments.ParseSweepSpec(arg)
+		if err != nil {
+			panic(fmt.Sprintf("campaign: %v", err)) // validated at submission; unreachable
+		}
+		tabs, _, err := experiments.RunSweepTables(cfg, variants, experiments.SweepOptions{})
+		if err != nil {
+			panic(fmt.Sprintf("campaign: %v", err))
+		}
+		for _, t := range tabs {
+			res.Tables = append(res.Tables, RenderedTable{ID: t.ID, Text: t.Render()})
+		}
+	case "chaos", "table":
+		g := experiments.ChaosGenerator()
+		if kind == "table" {
+			var ok bool
+			if g, ok = resolveGenerator(arg); !ok {
+				panic(fmt.Sprintf("campaign: unknown experiment %q", arg)) // validated at submission
+			}
+		}
+		sink := metrics.NewSink()
+		cfg.Metrics = sink
+		t := g.Run(cfg.ForTable(g.ID))
+		res.Tables = []RenderedTable{{ID: t.ID, Text: t.Render()}}
+		for _, label := range sink.Labels() {
+			doc, err := json.Marshal(sink.Run(label))
+			if err != nil {
+				panic(fmt.Sprintf("campaign: encoding metrics for %s: %v", label, err))
+			}
+			res.Metrics = append(res.Metrics, LabeledMetrics{Label: label, JSON: doc})
+		}
+	default:
+		panic(fmt.Sprintf("campaign: malformed job spec %q", j.Spec))
+	}
+	return res
+}
+
+// splitSpec cuts a canonical job spec into its kind and argument.
+func splitSpec(spec string) (kind, arg string, ok bool) {
+	for i := 0; i < len(spec); i++ {
+		if spec[i] == ':' {
+			return spec[:i], spec[i+1:], true
+		}
+	}
+	return spec, "", false
+}

@@ -1,0 +1,195 @@
+package campaign
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+)
+
+// Server is the daemon's HTTP surface over one Engine. Handlers are thin:
+// they translate requests into engine calls and engine state into JSON,
+// failing closed on any malformed input with a typed error body
+// {"error": "..."} and an appropriate 4xx status.
+type Server struct {
+	eng      *Engine
+	mux      *http.ServeMux
+	draining atomic.Bool
+}
+
+// NewServer wires the API over eng:
+//
+//	GET  /healthz               liveness (200 while the process serves)
+//	GET  /readyz                readiness (503 while draining)
+//	POST /campaigns             submit a manifest; 202 created / 200 existing
+//	GET  /campaigns             list campaign statuses
+//	GET  /campaigns/{id}        one campaign's status
+//	POST /campaigns/{id}/cancel stop the campaign's pending jobs
+//	GET  /campaigns/{id}/results
+//	     stream settled results as JSONL in job order; ?wait=1 blocks until
+//	     the campaign settles; ?format=text renders tables as macawsim does
+//	GET  /campaigns/{id}/metrics
+//	     merged metrics.Sink document (?spec=, ?seed= filter), byte-identical
+//	     to the equivalent macawsim -metrics file
+func NewServer(eng *Engine) *Server {
+	s := &Server{eng: eng, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("ok\n"))
+	})
+	s.mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("ready\n"))
+	})
+	s.mux.HandleFunc("POST /campaigns", s.submit)
+	s.mux.HandleFunc("GET /campaigns", s.list)
+	s.mux.HandleFunc("GET /campaigns/{id}", s.status)
+	s.mux.HandleFunc("POST /campaigns/{id}/cancel", s.cancel)
+	s.mux.HandleFunc("GET /campaigns/{id}/results", s.results)
+	s.mux.HandleFunc("GET /campaigns/{id}/metrics", s.metrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// SetDraining flips the readiness probe; a draining daemon answers health
+// but reports not-ready, and refuses new submissions.
+func (s *Server) SetDraining() { s.draining.Store(true) }
+
+// fail writes a typed JSON error body.
+func fail(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(struct {
+		Error string `json:"error"`
+	}{Error: err.Error()})
+}
+
+// writeJSON writes v as one compact JSON document.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+// submitReply is the submission response body.
+type submitReply struct {
+	ID      string `json:"id"`
+	Created bool   `json:"created"`
+	Jobs    int    `json:"jobs"`
+}
+
+func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		fail(w, http.StatusServiceUnavailable, errDraining)
+		return
+	}
+	m, err := DecodeManifest(r.Body)
+	if err != nil {
+		fail(w, http.StatusBadRequest, err)
+		return
+	}
+	c, created, err := s.eng.Submit(m)
+	if err != nil {
+		fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	code := http.StatusOK
+	if created {
+		code = http.StatusAccepted
+	}
+	writeJSON(w, code, submitReply{ID: c.ID, Created: created, Jobs: len(c.Jobs)})
+}
+
+func (s *Server) list(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Campaigns []Status `json:"campaigns"`
+	}{Campaigns: s.eng.Campaigns()})
+}
+
+// campaign resolves the {id} path segment, failing closed on an unknown id.
+func (s *Server) campaign(w http.ResponseWriter, r *http.Request) (*Campaign, bool) {
+	c, ok := s.eng.Campaign(r.PathValue("id"))
+	if !ok {
+		fail(w, http.StatusNotFound, errUnknownCampaign)
+	}
+	return c, ok
+}
+
+func (s *Server) status(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.campaign(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, c.Status())
+}
+
+func (s *Server) cancel(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.campaign(w, r)
+	if !ok {
+		return
+	}
+	c.Cancel()
+	writeJSON(w, http.StatusOK, c.Status())
+}
+
+func (s *Server) results(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.campaign(w, r)
+	if !ok {
+		return
+	}
+	if r.URL.Query().Get("wait") == "1" {
+		select {
+		case <-c.Done():
+		case <-r.Context().Done():
+			return
+		}
+	}
+	text := r.URL.Query().Get("format") == "text"
+	if text {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	} else {
+		w.Header().Set("Content-Type", "application/jsonl")
+	}
+	for _, res := range c.settledPrefix() {
+		var err error
+		if text {
+			err = res.WriteText(w)
+		} else {
+			err = res.WriteJSONL(w)
+		}
+		if err != nil {
+			return // client went away mid-stream
+		}
+	}
+}
+
+func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.campaign(w, r)
+	if !ok {
+		return
+	}
+	q := r.URL.Query()
+	var seed int64
+	haveSeed := false
+	if v := q.Get("seed"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			fail(w, http.StatusBadRequest, errBadSeed)
+			return
+		}
+		seed, haveSeed = n, true
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := c.MetricsDoc(q.Get("spec"), seed, haveSeed, w); err != nil {
+		// Headers may already be out; best effort on the body. MetricsDoc
+		// writes nothing before its first error check, so in practice the
+		// 409 arrives clean.
+		fail(w, http.StatusConflict, err)
+	}
+}

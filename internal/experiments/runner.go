@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -93,6 +94,31 @@ func (r *Runner) Jobs() int { return cap(r.sem) }
 func (cfg RunConfig) WithRunner(r *Runner) RunConfig {
 	cfg.runner = r
 	return cfg
+}
+
+// Do executes fn under a pool slot, blocking until a worker frees up or ctx
+// is cancelled. It is the context-aware submission path long-running callers
+// (the campaign daemon) use: a cancellation while queued returns ctx.Err()
+// without running fn, so a drained or cancelled campaign stops consuming
+// workers the moment its context dies, while runs already executing finish
+// normally. A panic inside fn is recovered into a *RunFailure naming the
+// (table, seed) that died and returned as the error — it is NOT latched as
+// the pool's first failure, because independent submissions (unlike the runs
+// of one table sweep) must not cancel each other.
+func (r *Runner) Do(ctx context.Context, table string, seed int64, fn func()) (err error) {
+	select {
+	case r.sem <- struct{}{}:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	defer func() {
+		<-r.sem
+		if p := recover(); p != nil {
+			err = &RunFailure{Table: table, Seed: seed, Err: p, Stack: debug.Stack()}
+		}
+	}()
+	fn()
+	return nil
 }
 
 // future is the pending value of a dispatched run.

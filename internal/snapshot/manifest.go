@@ -68,6 +68,20 @@ func (m *Manifest) Get(key string) ([]byte, bool) {
 	return p, ok
 }
 
+// Keys returns every recorded key in sorted order — the canonical
+// enumeration callers (the campaign daemon's cache introspection, tests)
+// iterate, independent of completion order.
+func (m *Manifest) Keys() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.entries))
+	for k := range m.entries {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // Len reports the number of completed runs recorded.
 func (m *Manifest) Len() int {
 	m.mu.Lock()

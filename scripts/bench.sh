@@ -21,14 +21,17 @@
 #
 # Usage: scripts/bench.sh [output.json] [raw-bench.txt]
 #
-# output.json defaults to bench.json. If raw-bench.txt is given, the raw
+# output.json defaults to $BENCH_OUT, then bench.json — so callers that only
+# want the raw text can pass '' and pin the JSON name via the environment
+# (the CI perf job does, keeping one snapshot file per PR without editing
+# this script). If raw-bench.txt is given, the raw
 # `go test -bench` output of the per-table and sharding passes is also
 # copied there, in the text format benchstat and scripts/perfgate.sh
 # consume.
 set -eu
 cd "$(dirname "$0")/.."
 
-out="${1:-bench.json}"
+out="${1:-${BENCH_OUT:-bench.json}}"
 raw="${2:-}"
 benchtime="${BENCHTIME:-5x}"
 scale_benchtime="${SCALE_BENCHTIME:-1x}"
